@@ -1,0 +1,92 @@
+"""Benchmarks: ablations of the paper's design choices.
+
+One benchmark per knob — promotion threshold, miss-penalty factor,
+sequential-probe cost, replacement policy, split TLBs and the
+multiprogramming mix the paper lists as missing from its traces.
+"""
+
+from conftest import run_once
+
+from repro.experiments import (
+    run_multiprogramming_ablation,
+    run_penalty_ablation,
+    run_probe_ablation,
+    run_replacement_ablation,
+    run_split_ablation,
+    run_threshold_ablation,
+)
+
+
+def test_threshold_ablation(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_threshold_ablation(scale))
+    publish("ablation_threshold", result.render())
+    for name in result.ws:
+        assert result.ws[name][0.25] >= result.ws[name][1.0] - 1e-9
+
+
+def test_penalty_ablation(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_penalty_ablation(scale))
+    publish("ablation_penalty", result.render())
+    assert result.breakeven_factor("matrix300") >= 2.0
+    assert result.breakeven_factor("espresso") <= 1.0
+
+
+def test_probe_ablation(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_probe_ablation(scale))
+    publish("ablation_probe", result.render())
+    for name in result.misses:
+        assert result.reprobes[name] >= result.misses[name]
+
+
+def test_replacement_ablation(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_replacement_ablation(scale))
+    publish("ablation_replacement", result.render())
+    for name in result.cpi:
+        assert result.cpi[name]["lru"] <= 2.0 * min(result.cpi[name].values())
+
+
+def test_split_ablation(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_split_ablation(scale))
+    publish("ablation_split", result.render())
+    assert result.large_utilisation["espresso"] == 0.0
+
+
+def test_multiprogramming_ablation(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_multiprogramming_ablation(scale))
+    publish("ablation_multiprogramming", result.render())
+    for value in result.mixed_cpi.values():
+        assert value >= min(result.solo_cpi.values())
+    for quantum in result.quanta:
+        assert (
+            result.mixed_cpi[("asid", quantum)]
+            <= result.mixed_cpi[("flush", quantum)] + 1e-9
+        )
+
+
+def test_walkcost_ablation(benchmark, scale, publish):
+    from repro.experiments import run_walkcost_ablation
+
+    result = run_once(benchmark, lambda: run_walkcost_ablation(scale))
+    publish("ablation_walkcost", result.render())
+    assert result.blended_factor["espresso"] == 1.0
+    assert result.blended_factor["matrix300"] > 1.05
+
+
+def test_memdemand(benchmark, scale, publish):
+    from repro.experiments import run_memdemand
+
+    result = run_once(benchmark, lambda: run_memdemand(scale))
+    publish("memdemand", result.render())
+    tight = result.memory_sizes[0]
+    assert (
+        result.fault_ratio[("worm", "32KB", tight)]
+        > result.fault_ratio[("worm", "4KB", tight)]
+    )
+
+
+def test_twolevel_ablation(benchmark, scale, publish):
+    from repro.experiments import run_twolevel_ablation
+
+    result = run_once(benchmark, lambda: run_twolevel_ablation(scale))
+    publish("ablation_twolevel", result.render())
+    assert max(result.l2_hit_rate.values()) > 0.3

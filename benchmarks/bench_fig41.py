@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Figure 4.1 (WS_Normalized vs page size).
+
+Paper shape: inflation grows with page size for every program; dense
+linear-loopers (matrix300, nasa7, tomcatv) barely inflate while sparse
+programs (worm, espresso, li) inflate several-fold; the cross-workload
+average lands near the paper's 1.67 at 32KB / 2.03 at 64KB.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig41
+from repro.types import PAGE_8KB, PAGE_32KB, PAGE_64KB
+
+
+def test_fig41(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_fig41(scale))
+    publish("fig41", result.render())
+
+    for name, per_size in result.values.items():
+        assert per_size[PAGE_64KB] >= per_size[PAGE_8KB] - 1e-9, name
+    assert result.values["matrix300"][PAGE_32KB] < result.values["worm"][
+        PAGE_32KB
+    ]
+    assert 1.3 < result.average(PAGE_32KB) < 2.8
+    assert result.average(PAGE_64KB) >= result.average(PAGE_32KB)

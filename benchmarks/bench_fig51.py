@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Figure 5.1 (CPI_TLB, 16-entry fully associative).
+
+Paper shape: 32KB pages cut CPI_TLB by a large factor (three to eight,
+sometimes more) versus 4KB; the two-page-size bars land close to the
+32KB bars (the gap is mostly the 25% penalty), and 8KB sits in between.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_fig51
+from repro.metrics import geometric_mean
+from repro.types import PAGE_4KB, PAGE_8KB, PAGE_32KB
+
+
+def test_fig51(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_fig51(scale))
+    publish("fig51", result.render())
+
+    reductions = []
+    for name in result.workloads():
+        four = result.single[name][PAGE_4KB].cpi_tlb
+        eight = result.single[name][PAGE_8KB].cpi_tlb
+        large = result.single[name][PAGE_32KB].cpi_tlb
+        assert large <= eight + 1e-9 <= four + 2e-9, name
+        if large > 0:
+            reductions.append(four / large)
+    # Paper: "factors of about three to eight (sometimes more)".
+    assert geometric_mean(reductions) > 3.0
+
+    # Two sizes beat the single 4KB page for most programs on the FA TLB.
+    winners = [
+        name
+        for name in result.workloads()
+        if result.two_size[name].cpi_tlb
+        < result.single[name][PAGE_4KB].cpi_tlb
+    ]
+    assert len(winners) >= 9

@@ -1,0 +1,42 @@
+"""Benchmark: regenerate Figure 5.2 (CPI_TLB, two-way set-associative).
+
+Paper shape: large pages mostly help; a solid majority of the twelve
+programs (paper: eight) improve with two page sizes over single 4KB even
+with the higher penalty; espresso and worm degrade; tomcatv thrashes
+dramatically once chunk bits index the TLB.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_fig52
+from repro.types import PAGE_4KB, PAGE_32KB
+
+
+def test_fig52(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_fig52(scale))
+    publish("fig52", result.render())
+
+    for entries in (16, 32):
+        improving = [
+            name
+            for name in result.workloads()
+            if result.improves_with_two_sizes(name, entries)
+        ]
+        assert len(improving) >= 7, (entries, improving)
+        # The degraders of Table 5.1.
+        assert "espresso" not in improving
+        assert "worm" not in improving
+        assert "tomcatv" not in improving
+
+    # The anomaly: tomcatv's two-size CPI exceeds its 4KB CPI severalfold.
+    anomaly = (
+        result.two_size["tomcatv"][16].cpi_tlb
+        / result.single["tomcatv"][(16, PAGE_4KB)].cpi_tlb
+    )
+    assert anomaly > 2.0
+
+    # matrix300: the paper's flagship large-page win.
+    assert (
+        result.single["matrix300"][(32, PAGE_32KB)].cpi_tlb
+        < 0.3 * result.single["matrix300"][(32, PAGE_4KB)].cpi_tlb
+    )

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate the paper's headline cross-workload statistics.
+
+Prints the side-by-side paper-vs-measured summary (abstract / Section 6
+numbers): average working-set inflation, the two-page-size inflation
+range, the FA-16 large-page CPI reduction, the improving-program count
+and the critical miss-penalty increase range.
+"""
+
+import math
+
+from conftest import run_once
+
+from repro.experiments import run_headline
+
+
+def test_headline(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_headline(scale))
+    publish("headline", result.render())
+
+    # Paper bands (loosely): 1.67 / 2.03 / ~1.1 / 3-8x / 8 of 12.
+    assert 1.3 < result.ws_normalized_32kb < 2.8
+    assert result.ws_normalized_64kb >= result.ws_normalized_32kb
+    assert 1.0 <= result.ws_normalized_two_size_mean < 1.25
+    low, high = result.ws_normalized_two_size_range
+    assert low >= 1.0 - 1e-9 and high < 1.4
+    assert result.fa16_mean_reduction > 3.0
+    assert 7 <= len(result.improving_programs_16) <= 11
+    cp_low, cp_high = result.critical_penalty_range
+    assert cp_low > 0 and cp_high > 100
+    assert math.isfinite(cp_high)

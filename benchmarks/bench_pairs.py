@@ -1,0 +1,25 @@
+"""Benchmark: the 4KB/16KB and 4KB/64KB pair comparison.
+
+The paper collected this data but had no space to print it (Section
+3.2); this regenerates the comparison on the 16-entry FA TLB.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_pairs
+from repro.types import PAIR_4KB_16KB, PAIR_4KB_32KB, PAIR_4KB_64KB
+
+
+def test_pairs(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_pairs(scale))
+    publish("pairs", result.render())
+
+    for pair in (PAIR_4KB_16KB, PAIR_4KB_32KB, PAIR_4KB_64KB):
+        # Promotion never shrinks the working set...
+        for name in result.ws:
+            assert result.ws[name][pair] >= 1.0 - 1e-9
+        # ...and the flagship improver wins with every pair.
+        assert (
+            result.cpi["matrix300"][pair].cpi_tlb
+            < result.baseline_cpi["matrix300"]
+        )

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Table 3.1 (the workload roster).
+
+Paper shape to check in the printed table: twelve programs, the first
+six with working sets below the "small" boundary and the last six above,
+each category in ascending working-set order.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table31
+
+
+def test_table31(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_table31(scale))
+    publish("table31", result.render())
+
+    names = [row.name for row in result.rows]
+    assert names[0] == "li" and names[-1] == "verilog"
+    small = [row for row in result.rows if row.category == "small"]
+    large = [row for row in result.rows if row.category == "large"]
+    assert max(row.ws_bytes for row in small) < min(
+        row.ws_bytes for row in large
+    )

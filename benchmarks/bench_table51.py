@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Table 5.1 (indexing schemes).
+
+Paper shape: using the large-page index with *no* large pages allocated
+severely degrades CPI_TLB versus a conventional 4KB TLB (Section
+5.2.1's caution); with the dynamic policy, exact indexing is at least
+comparable to large-page indexing, and better where small pages carry
+the pressure.
+"""
+
+from conftest import run_once
+
+from repro.experiments import run_table51
+
+
+def test_table51(benchmark, scale, publish):
+    result = run_once(benchmark, lambda: run_table51(scale))
+    publish("table51", result.render())
+
+    degraded = 0
+    for name in result.workloads():
+        if result.cpi(name, 16, "4KB large index") > 1.1 * result.cpi(
+            name, 16, "4KB"
+        ):
+            degraded += 1
+    assert degraded >= 10  # nearly every program suffers
+
+    comparable_or_better = 0
+    for name in result.workloads():
+        exact = result.cpi(name, 32, "4KB/32KB exact index")
+        large = result.cpi(name, 32, "4KB/32KB large index")
+        if exact <= large * 1.25:
+            comparable_or_better += 1
+    assert comparable_or_better >= 9

@@ -1,0 +1,49 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+default experiment scale (400K-reference traces, T = 50K; override with
+``REPRO_TRACE_LENGTH`` / ``REPRO_WINDOW``), prints the paper-style
+rendering, and archives it under ``results/``.  ``pytest-benchmark``
+times the run; the printed tables are the scientific output.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import default_scale
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale every benchmark runs at."""
+    return default_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def publish(results_dir):
+    """Print a rendered experiment and archive it to results/<name>.txt."""
+
+    def _publish(name, rendered):
+        print()
+        print(rendered)
+        (results_dir / f"{name}.txt").write_text(rendered + "\n")
+
+    return _publish
+
+
+def run_once(benchmark, func):
+    """Run an experiment exactly once under the benchmark timer.
+
+    The experiments take tens of seconds; multiple timing rounds would
+    add nothing but wall-clock.
+    """
+    return benchmark.pedantic(func, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python
+"""Ask the advisor: should this workload get two page sizes?
+
+Runs the full analysis pipeline — working-set inflation, CPI crossover
+sweep, promotion behaviour, penalty robustness — and prints the verdict
+with its reasons, for any of the twelve paper workloads (or compare a
+winner and a loser side by side with no arguments).
+
+Usage::
+
+    python examples/page_size_advisor.py [workload ...]
+"""
+
+import sys
+
+from repro.analysis import advise
+from repro.workloads import generate_trace, workload_names
+
+
+def main() -> int:
+    names = sys.argv[1:] or ["matrix300", "espresso"]
+    unknown = [name for name in names if name not in workload_names()]
+    if unknown:
+        print(f"unknown workloads: {', '.join(unknown)}")
+        print("choose from: " + " ".join(workload_names()))
+        return 1
+
+    for name in names:
+        trace = generate_trace(name, 200_000, seed=0)
+        report = advise(trace, window=25_000)
+        print(report.render())
+        print(
+            f"(promotions={report.promotions}, "
+            f"large-page miss share={report.promoted_share:.0%})\n"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""Quickstart: measure one TLB on one workload, one page size vs two.
+
+Runs the paper's flagship comparison on a single program in a few
+seconds: a 16-entry fully associative TLB with 4KB pages, 32KB pages,
+and the dynamic 4KB/32KB two-page-size scheme.
+
+Usage::
+
+    python examples/quickstart.py [workload] [trace_length]
+
+where ``workload`` is any of the twelve paper programs (default
+``matrix300``).
+"""
+
+import sys
+
+from repro.sim import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.sim.driver import run_single_size, run_two_sizes
+from repro.types import PAGE_4KB, PAGE_32KB
+from repro.workloads import generate_trace, workload_names
+
+
+def main() -> int:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "matrix300"
+    length = int(sys.argv[2]) if len(sys.argv) > 2 else 200_000
+    if workload not in workload_names():
+        print(f"unknown workload {workload!r}; choose from:")
+        print("  " + " ".join(workload_names()))
+        return 1
+
+    print(f"generating {length:,}-reference trace for {workload}...")
+    trace = generate_trace(workload, length, seed=0)
+    config = TLBConfig(entries=16)  # 16-entry fully associative
+    window = max(1, length // 8)
+
+    small = run_single_size(trace, SingleSizeScheme(PAGE_4KB), config)
+    large = run_single_size(trace, SingleSizeScheme(PAGE_32KB), config)
+    (two,) = run_two_sizes(trace, TwoSizeScheme(window=window), [config])
+
+    print(f"\n{config.label} TLB on {workload} ({length:,} references)\n")
+    print(f"{'scheme':12s} {'misses':>8s} {'miss%':>7s} {'CPI_TLB':>8s}")
+    for result in (small, large, two):
+        print(
+            f"{result.scheme_label:12s} {result.misses:8d} "
+            f"{100 * result.miss_ratio:6.2f}% {result.cpi_tlb:8.3f}"
+        )
+    print(
+        f"\ntwo-page-size scheme: {two.promotions} promotions, "
+        f"{two.demotions} demotions, {two.invalidations} TLB shootdowns"
+    )
+    improvement = small.cpi_tlb / two.cpi_tlb if two.cpi_tlb else float("inf")
+    print(f"CPI improvement over single 4KB pages: {improvement:.1f}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

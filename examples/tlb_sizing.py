@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Size a TLB for the paper's workloads, and find the scheme crossovers.
+
+Two architect's questions, answered with the analysis package:
+
+1. How many fully associative entries does each program need to keep
+   the TLB miss ratio under 1%, at 4KB and at 32KB pages?  (The reach
+   argument of Section 1, made concrete.)
+2. For one program, which page-size scheme wins at each TLB size —
+   where are the crossovers?
+
+Usage::
+
+    python examples/tlb_sizing.py [crossover_workload]
+"""
+
+import sys
+
+from repro.analysis import (
+    entries_required,
+    scheme_ranking,
+    two_size_crossover,
+)
+from repro.types import PAGE_4KB, PAGE_32KB
+from repro.workloads import generate_trace, workload_names
+
+
+def main() -> int:
+    length = 200_000
+    target = 0.01
+
+    print(f"entries for <{target:.0%} miss ratio ({length:,}-ref traces)\n")
+    print(f"{'program':10s} {'@4KB':>6s} {'reach':>7s} {'@32KB':>6s} {'reach':>7s}")
+    for name in workload_names():
+        trace = generate_trace(name, length, seed=0)
+        small = entries_required(trace, PAGE_4KB, target)
+        large = entries_required(trace, PAGE_32KB, target)
+
+        def cell(result):
+            if result.entries is None:
+                return ">64", "-"
+            return str(result.entries), result.reach
+
+        s_entries, s_reach = cell(small)
+        l_entries, l_reach = cell(large)
+        print(
+            f"{name:10s} {s_entries:>6s} {s_reach:>7s} "
+            f"{l_entries:>6s} {l_reach:>7s}"
+        )
+
+    workload = sys.argv[1] if len(sys.argv) > 1 else "li"
+    print(f"\nscheme ranking by TLB size for {workload} (best first)\n")
+    trace = generate_trace(workload, length, seed=0)
+    result = two_size_crossover(trace, window=25_000)
+    ranking = scheme_ranking(result)
+    for capacity in result.capacities:
+        order = ranking[capacity]
+        values = ", ".join(
+            f"{scheme}={result.cpi[scheme][capacity]:.3f}" for scheme in order
+        )
+        print(f"  {capacity:3d} entries: {values}")
+    wins = result.two_size_wins_at()
+    if wins:
+        print(
+            f"\ntwo page sizes beat single 4KB pages at "
+            f"{', '.join(str(c) for c in wins)} entries"
+        )
+    else:
+        print("\ntwo page sizes never beat single 4KB pages here")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

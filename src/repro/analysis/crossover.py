@@ -1,0 +1,103 @@
+"""Crossover analysis: where does each page-size scheme start winning?
+
+The paper's conclusions hinge on crossovers — two page sizes beat a
+single 8KB page *here* but not *there*; larger TLBs wash the advantage
+out.  This module locates those crossovers explicitly for one workload:
+
+* :func:`two_size_crossover` — the TLB sizes at which the two-page-size
+  scheme's CPI (25-cycle penalty) overtakes a single-4KB TLB's
+  (20-cycle penalty), and where it stops mattering because both are
+  negligible;
+* :func:`scheme_ranking` — which scheme wins at each TLB size.
+
+Both run the single-size schemes through one stack pass and the
+two-size scheme through one shared multi-TLB pass, so a full sweep
+costs about two trace traversals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.errors import ConfigurationError
+from repro.sim.config import TLBConfig, TwoSizeScheme
+from repro.sim.driver import run_two_sizes
+from repro.sim.sweep import sweep_single_size
+from repro.trace.record import Trace
+from repro.types import PAGE_4KB, PAGE_8KB, PAGE_32KB, format_size
+
+#: TLB sizes swept by default (the paper's 16/32 plus neighbours).
+DEFAULT_CAPACITIES = (4, 8, 16, 32, 64)
+
+
+@dataclass(frozen=True)
+class CrossoverResult:
+    """Per-capacity CPI for each scheme on one workload.
+
+    ``cpi[scheme_label][capacity]`` holds CPI_TLB; scheme labels are
+    the page-size strings plus ``"4KB/32KB"``.
+    """
+
+    workload: str
+    cpi: Dict[str, Dict[int, float]]
+    capacities: Sequence[int]
+
+    def winner(self, capacity: int) -> str:
+        """The scheme with the lowest CPI at ``capacity``."""
+        return min(self.cpi, key=lambda scheme: self.cpi[scheme][capacity])
+
+    def two_size_wins_at(self) -> List[int]:
+        """Capacities where two page sizes beat the single 4KB page."""
+        return [
+            capacity
+            for capacity in self.capacities
+            if self.cpi["4KB/32KB"][capacity] < self.cpi["4KB"][capacity]
+        ]
+
+    def advantage(self, capacity: int) -> float:
+        """CPI(4KB) - CPI(4KB/32KB) at ``capacity`` (positive = win)."""
+        return (
+            self.cpi["4KB"][capacity] - self.cpi["4KB/32KB"][capacity]
+        )
+
+
+def two_size_crossover(
+    trace: Trace,
+    window: int,
+    *,
+    capacities: Sequence[int] = DEFAULT_CAPACITIES,
+    page_sizes: Sequence[int] = (PAGE_4KB, PAGE_8KB, PAGE_32KB),
+) -> CrossoverResult:
+    """Sweep fully associative TLB sizes for every scheme."""
+    if not capacities:
+        raise ConfigurationError("capacities must not be empty")
+    configs = [TLBConfig(entries) for entries in capacities]
+
+    cpi: Dict[str, Dict[int, float]] = {
+        format_size(page_size): {} for page_size in page_sizes
+    }
+    swept = sweep_single_size(trace, page_sizes, configs)
+    for page_size in page_sizes:
+        label = format_size(page_size)
+        for config in configs:
+            cpi[label][config.entries] = swept[
+                (page_size, config.label)
+            ].cpi_tlb
+
+    scheme = TwoSizeScheme(window=window)
+    results = run_two_sizes(trace, scheme, configs)
+    cpi["4KB/32KB"] = {
+        result.config.entries: result.cpi_tlb for result in results
+    }
+    return CrossoverResult(trace.name, cpi, tuple(capacities))
+
+
+def scheme_ranking(result: CrossoverResult) -> Dict[int, List[str]]:
+    """Schemes ordered best-first at each swept capacity."""
+    return {
+        capacity: sorted(
+            result.cpi, key=lambda scheme: result.cpi[scheme][capacity]
+        )
+        for capacity in result.capacities
+    }

@@ -1,0 +1,132 @@
+"""TLB sizing analysis: how many entries does a workload need?
+
+Section 1 of the paper frames the whole problem as TLB *reach* (entries
+x page size) versus working set.  These helpers answer the architect's
+direct questions from one stack-simulation pass:
+
+* the smallest fully associative TLB meeting a miss-ratio target at a
+  given page size;
+* the reach (bytes mapped) of a configuration;
+* the miss-ratio curve across capacities, for plotting reach/miss
+  tradeoffs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from repro.errors import ConfigurationError
+from repro.mem.address import page_numbers_array
+from repro.stacksim.lru_stack import lru_miss_curve
+from repro.trace.record import Trace
+from repro.types import format_size, validate_page_size
+
+
+@dataclass(frozen=True)
+class SizingResult:
+    """Outcome of a sizing query.
+
+    Attributes:
+        page_size: page size analysed.
+        target_miss_ratio: the requested ceiling.
+        entries: smallest power-of-two-free capacity meeting the target,
+            or None if even ``max_entries`` missed too often.
+        achieved_miss_ratio: miss ratio at ``entries`` (or at
+            ``max_entries`` when the target was unreachable).
+        max_entries: the search bound used.
+    """
+
+    page_size: int
+    target_miss_ratio: float
+    entries: Optional[int]
+    achieved_miss_ratio: float
+    max_entries: int
+
+    @property
+    def reach(self) -> Optional[str]:
+        """Memory mapped by the sized TLB, formatted (e.g. ``"128KB"``)."""
+        if self.entries is None:
+            return None
+        return format_size(self.entries * self.page_size)
+
+
+def entries_required(
+    trace: Trace,
+    page_size: int,
+    target_miss_ratio: float,
+    *,
+    max_entries: int = 64,
+) -> SizingResult:
+    """Smallest fully associative capacity with miss ratio <= target."""
+    validate_page_size(page_size)
+    if not 0.0 < target_miss_ratio < 1.0:
+        raise ConfigurationError(
+            f"target miss ratio must be in (0, 1), got {target_miss_ratio}"
+        )
+    if max_entries <= 0:
+        raise ConfigurationError("max_entries must be positive")
+
+    pages = page_numbers_array(trace.addresses, page_size)
+    curve = lru_miss_curve(pages, max_capacity=max_entries)
+    for capacity in range(1, max_entries + 1):
+        ratio = curve.miss_ratio(capacity)
+        if ratio <= target_miss_ratio:
+            return SizingResult(
+                page_size, target_miss_ratio, capacity, ratio, max_entries
+            )
+    return SizingResult(
+        page_size,
+        target_miss_ratio,
+        None,
+        curve.miss_ratio(max_entries),
+        max_entries,
+    )
+
+
+def miss_ratio_curve(
+    trace: Trace,
+    page_size: int,
+    capacities: Sequence[int],
+    *,
+    max_entries: int = 64,
+) -> Dict[int, float]:
+    """Miss ratio at each requested fully associative capacity."""
+    validate_page_size(page_size)
+    if not capacities:
+        raise ConfigurationError("capacities must not be empty")
+    bound = max(max(capacities), max_entries)
+    pages = page_numbers_array(trace.addresses, page_size)
+    curve = lru_miss_curve(pages, max_capacity=bound)
+    return {
+        int(capacity): curve.miss_ratio(capacity) for capacity in capacities
+    }
+
+
+def reach_equivalent_entries(
+    small_entries: int, small_page: int, large_page: int
+) -> int:
+    """Entries a ``large_page`` TLB needs to match a small-page TLB's reach.
+
+    The paper's "maps eight times more memory for free" arithmetic, made
+    explicit: a 16-entry 32KB TLB reaches as far as a 128-entry 4KB one.
+    """
+    validate_page_size(small_page)
+    validate_page_size(large_page)
+    if small_entries <= 0:
+        raise ConfigurationError("small_entries must be positive")
+    return max(1, (small_entries * small_page) // large_page)
+
+
+def working_set_entries(
+    trace: Trace, page_size: int, window: int
+) -> float:
+    """Average working-set size expressed in TLB entries at ``page_size``.
+
+    The paper's rule of thumb: a TLB is comfortable when its entry count
+    exceeds the working set in pages.
+    """
+    from repro.stacksim.working_set import average_working_set_pages
+
+    pages = page_numbers_array(trace.addresses, page_size)
+    return average_working_set_pages(pages, [window])[window]

@@ -1,0 +1,50 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures with a single
+``except`` clause while letting programming errors (``TypeError`` and
+friends) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or hardware configuration is internally inconsistent.
+
+    Examples: a page size that is not a power of two, a TLB with zero
+    entries, or an associativity that does not divide the entry count.
+    """
+
+
+class PageSizeError(ConfigurationError):
+    """A page size (or page-size pair) violates the paper's constraints.
+
+    The paper requires page sizes to be powers of two and pages to be
+    aligned on their own size; a two-page-size pair additionally requires
+    the large size to be a multiple of the small size.
+    """
+
+
+class TraceError(ReproError):
+    """A trace file or trace buffer is malformed or inconsistent."""
+
+
+class TraceFormatError(TraceError):
+    """A serialized trace does not conform to the on-disk format."""
+
+
+class WorkloadError(ReproError):
+    """A workload specification is invalid or an unknown workload was named."""
+
+
+class SimulationError(ReproError):
+    """A simulation was driven incorrectly (e.g. results read before run)."""
+
+
+class AllocationError(ReproError):
+    """The physical memory allocator could not satisfy a request."""

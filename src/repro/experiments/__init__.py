@@ -1,0 +1,74 @@
+"""One module per paper table/figure, plus headline stats and a CLI.
+
+See DESIGN.md's per-experiment index for the mapping from paper
+table/figure to module and benchmark target.
+"""
+
+from repro.experiments.ablations import (
+    MultiprogrammingAblation,
+    TwoLevelAblation,
+    WalkCostAblation,
+    run_twolevel_ablation,
+    run_walkcost_ablation,
+    PenaltyAblation,
+    ProbeAblation,
+    ReplacementAblation,
+    SplitAblation,
+    ThresholdAblation,
+    run_multiprogramming_ablation,
+    run_penalty_ablation,
+    run_probe_ablation,
+    run_replacement_ablation,
+    run_split_ablation,
+    run_threshold_ablation,
+)
+from repro.experiments.fig41 import Fig41Result, run_fig41
+from repro.experiments.fig42 import Fig42Result, run_fig42
+from repro.experiments.fig51 import Fig51Result, run_fig51
+from repro.experiments.fig52 import Fig52Result, run_fig52
+from repro.experiments.headline import HeadlineResult, run_headline
+from repro.experiments.memdemand import MemDemandResult, run_memdemand
+from repro.experiments.pairs import PairsResult, run_pairs
+from repro.experiments.scale import ExperimentScale, default_scale, smoke_scale
+from repro.experiments.table31 import Table31Result, run_table31
+from repro.experiments.table51 import Table51Result, run_table51
+
+__all__ = [
+    "ExperimentScale",
+    "MultiprogrammingAblation",
+    "PairsResult",
+    "PenaltyAblation",
+    "ProbeAblation",
+    "ReplacementAblation",
+    "SplitAblation",
+    "ThresholdAblation",
+    "run_multiprogramming_ablation",
+    "run_pairs",
+    "run_memdemand",
+    "MemDemandResult",
+    "run_penalty_ablation",
+    "run_probe_ablation",
+    "run_replacement_ablation",
+    "run_split_ablation",
+    "run_threshold_ablation",
+    "run_twolevel_ablation",
+    "run_walkcost_ablation",
+    "TwoLevelAblation",
+    "WalkCostAblation",
+    "Fig41Result",
+    "Fig42Result",
+    "Fig51Result",
+    "Fig52Result",
+    "HeadlineResult",
+    "Table31Result",
+    "Table51Result",
+    "default_scale",
+    "run_fig41",
+    "run_fig42",
+    "run_fig51",
+    "run_fig52",
+    "run_headline",
+    "run_table31",
+    "run_table51",
+    "smoke_scale",
+]

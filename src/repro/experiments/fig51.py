@@ -1,0 +1,132 @@
+"""Experiment: Figure 5.1 — CPI_TLB for a 16-entry fully associative TLB.
+
+Four bars per program: single page sizes 4KB, 8KB, 32KB (20-cycle miss
+penalty) and the two-page-size 4KB/32KB scheme (25-cycle penalty).  The
+paper's findings to reproduce: 32KB cuts CPI_TLB by roughly the page-size
+ratio (a factor approaching eight); the two-page-size scheme comes close
+to the 32KB bar (the gap being mostly the penalty increase) and usually
+beats a single 8KB page.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.scale import ExperimentScale, default_scale
+from repro.report.table import TextTable
+from repro.sim.config import TLBConfig, TwoSizeScheme
+from repro.sim.driver import RunResult, run_two_sizes
+from repro.sim.sweep import sweep_single_size
+from repro.types import PAGE_4KB, PAGE_8KB, PAGE_32KB, format_size
+
+#: Figure 5.1's single-size bars.
+FIG51_PAGE_SIZES = (PAGE_4KB, PAGE_8KB, PAGE_32KB)
+
+#: The figure's hardware: one 16-entry fully associative TLB.
+FIG51_CONFIG = TLBConfig(entries=16)
+
+
+@dataclass(frozen=True)
+class Fig51Result:
+    """CPI_TLB per workload per scheme for the FA-16 TLB.
+
+    ``single[name][page_size]`` and ``two_size[name]`` hold
+    :class:`RunResult` objects (use ``.cpi_tlb``).
+    """
+
+    single: Dict[str, Dict[int, RunResult]]
+    two_size: Dict[str, RunResult]
+    page_sizes: Sequence[int]
+    config: TLBConfig
+    scale: ExperimentScale
+
+    def workloads(self) -> List[str]:
+        return list(self.single)
+
+    def reduction_factor(self, name: str, page_size: int = PAGE_32KB) -> float:
+        """CPI(4KB) / CPI(page_size): the large-page improvement factor."""
+        large = self.single[name][page_size].cpi_tlb
+        base = self.single[name][PAGE_4KB].cpi_tlb
+        if large == 0.0:
+            return float("inf")
+        return base / large
+
+    def render(self) -> str:
+        headers = (
+            ["Program"]
+            + [format_size(size) for size in self.page_sizes]
+            + ["4KB/32KB"]
+        )
+        table = TextTable(
+            headers,
+            title=(
+                f"Figure 5.1: CPI_TLB, {self.config.label} "
+                f"(penalty 20 cycles; 25 for two sizes)"
+            ),
+        )
+        for name in self.single:
+            table.add_row(
+                name,
+                *[self.single[name][size].cpi_tlb for size in self.page_sizes],
+                self.two_size[name].cpi_tlb,
+            )
+        return table.render()
+
+    def render_chart(self) -> str:
+        """Render the figure as grouped bars, like the paper's histogram."""
+        from repro.report.figures import GroupedBarChart
+
+        labels = [format_size(size) for size in self.page_sizes] + [
+            "4KB/32KB"
+        ]
+        chart = GroupedBarChart(
+            labels,
+            title=f"Figure 5.1: CPI_TLB, {self.config.label}",
+        )
+        for name in self.single:
+            values = {
+                format_size(size): self.single[name][size].cpi_tlb
+                for size in self.page_sizes
+            }
+            values["4KB/32KB"] = self.two_size[name].cpi_tlb
+            chart.add_group(name, values)
+        return chart.render()
+
+    def to_csv(self) -> str:
+        """Export the figure's series as CSV for external plotting."""
+        from repro.report.figures import series_csv
+
+        columns = {
+            format_size(size): {
+                name: self.single[name][size].cpi_tlb for name in self.single
+            }
+            for size in self.page_sizes
+        }
+        columns["4KB/32KB"] = {
+            name: self.two_size[name].cpi_tlb for name in self.two_size
+        }
+        return series_csv(list(self.single), columns)
+
+
+def run_fig51(
+    scale: ExperimentScale = None,
+    page_sizes: Sequence[int] = FIG51_PAGE_SIZES,
+    config: TLBConfig = FIG51_CONFIG,
+) -> Fig51Result:
+    """Measure Figure 5.1 at the given scale."""
+    if scale is None:
+        scale = default_scale()
+    from repro.workloads.registry import all_workloads
+
+    single: Dict[str, Dict[int, RunResult]] = {}
+    two_size: Dict[str, RunResult] = {}
+    scheme = TwoSizeScheme(window=scale.window)
+    for workload in all_workloads():
+        trace = scale.trace(workload.name)
+        swept = sweep_single_size(trace, page_sizes, [config])
+        single[workload.name] = {
+            size: swept[(size, config.label)] for size in page_sizes
+        }
+        (two_size[workload.name],) = run_two_sizes(trace, scheme, [config])
+    return Fig51Result(single, two_size, tuple(page_sizes), config, scale)

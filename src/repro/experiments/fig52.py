@@ -1,0 +1,157 @@
+"""Experiment: Figure 5.2 — CPI_TLB for two-way set-associative TLBs.
+
+16-entry and 32-entry two-way TLBs; bars for single page sizes 4KB, 8KB,
+32KB and for the two-page-size scheme with the *exact* index (the best
+of the Section 2.2 options).  The paper's findings to reproduce: large
+pages mostly help (matrix300 dramatically); eight of twelve programs
+improve with two page sizes over 4KB; espresso and worm degrade; and
+tomcatv thrashes pathologically once chunk bits index the TLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.scale import ExperimentScale, default_scale
+from repro.report.table import TextTable
+from repro.sim.config import TLBConfig, TwoSizeScheme
+from repro.sim.driver import RunResult, run_two_sizes
+from repro.sim.sweep import sweep_single_size
+from repro.tlb.indexing import IndexingScheme
+from repro.types import PAGE_4KB, PAGE_8KB, PAGE_32KB, format_size
+
+#: Figure 5.2's single-size bars.
+FIG52_PAGE_SIZES = (PAGE_4KB, PAGE_8KB, PAGE_32KB)
+
+#: The figure's hardware: 16- and 32-entry two-way TLBs (exact index for
+#: the two-page-size bars).
+FIG52_CONFIGS = (
+    TLBConfig(16, 2, IndexingScheme.EXACT_INDEX),
+    TLBConfig(32, 2, IndexingScheme.EXACT_INDEX),
+)
+
+
+@dataclass(frozen=True)
+class Fig52Result:
+    """CPI_TLB per workload per (TLB config, scheme).
+
+    ``single[name][(entries, page_size)]`` and ``two_size[name][entries]``
+    hold :class:`RunResult` objects.
+    """
+
+    single: Dict[str, Dict[Tuple[int, int], RunResult]]
+    two_size: Dict[str, Dict[int, RunResult]]
+    page_sizes: Sequence[int]
+    configs: Sequence[TLBConfig]
+    scale: ExperimentScale
+
+    def workloads(self) -> List[str]:
+        return list(self.single)
+
+    def improves_with_two_sizes(self, name: str, entries: int) -> bool:
+        """Does the two-size scheme beat single 4KB for this program?"""
+        return (
+            self.two_size[name][entries].cpi_tlb
+            < self.single[name][(entries, PAGE_4KB)].cpi_tlb
+        )
+
+    def render(self) -> str:
+        blocks = []
+        for config in self.configs:
+            headers = (
+                ["Program"]
+                + [format_size(size) for size in self.page_sizes]
+                + ["4KB/32KB"]
+            )
+            table = TextTable(
+                headers,
+                title=(
+                    f"Figure 5.2: CPI_TLB, {config.label} "
+                    f"(two-size bars use the exact index)"
+                ),
+            )
+            for name in self.single:
+                table.add_row(
+                    name,
+                    *[
+                        self.single[name][(config.entries, size)].cpi_tlb
+                        for size in self.page_sizes
+                    ],
+                    self.two_size[name][config.entries].cpi_tlb,
+                )
+            blocks.append(table.render())
+        return "\n\n".join(blocks)
+
+    def render_chart(self) -> str:
+        """Render both halves as grouped bars, like the paper's figure."""
+        from repro.report.figures import GroupedBarChart
+
+        labels = [format_size(size) for size in self.page_sizes] + [
+            "4KB/32KB"
+        ]
+        blocks = []
+        for config in self.configs:
+            chart = GroupedBarChart(
+                labels, title=f"Figure 5.2: CPI_TLB, {config.label}"
+            )
+            for name in self.single:
+                values = {
+                    format_size(size): self.single[name][
+                        (config.entries, size)
+                    ].cpi_tlb
+                    for size in self.page_sizes
+                }
+                values["4KB/32KB"] = self.two_size[name][
+                    config.entries
+                ].cpi_tlb
+                chart.add_group(name, values)
+            blocks.append(chart.render())
+        return "\n\n".join(blocks)
+
+    def to_csv(self) -> str:
+        """Export both halves' series as CSV (entries prefixed)."""
+        from repro.report.figures import series_csv
+
+        columns = {}
+        for config in self.configs:
+            for size in self.page_sizes:
+                columns[f"{config.entries}e-{format_size(size)}"] = {
+                    name: self.single[name][(config.entries, size)].cpi_tlb
+                    for name in self.single
+                }
+            columns[f"{config.entries}e-4KB/32KB"] = {
+                name: self.two_size[name][config.entries].cpi_tlb
+                for name in self.two_size
+            }
+        return series_csv(list(self.single), columns)
+
+
+def run_fig52(
+    scale: ExperimentScale = None,
+    page_sizes: Sequence[int] = FIG52_PAGE_SIZES,
+    configs: Sequence[TLBConfig] = FIG52_CONFIGS,
+) -> Fig52Result:
+    """Measure Figure 5.2 at the given scale."""
+    if scale is None:
+        scale = default_scale()
+    from repro.workloads.registry import all_workloads
+
+    single: Dict[str, Dict[Tuple[int, int], RunResult]] = {}
+    two_size: Dict[str, Dict[int, RunResult]] = {}
+    scheme = TwoSizeScheme(window=scale.window)
+    for workload in all_workloads():
+        trace = scale.trace(workload.name)
+        swept = sweep_single_size(trace, page_sizes, list(configs))
+        single[workload.name] = {
+            (config.entries, size): swept[(size, config.label)]
+            for config in configs
+            for size in page_sizes
+        }
+        results = run_two_sizes(trace, scheme, list(configs))
+        two_size[workload.name] = {
+            result.config.entries: result for result in results
+        }
+    return Fig52Result(
+        single, two_size, tuple(page_sizes), tuple(configs), scale
+    )

@@ -1,0 +1,147 @@
+"""Experiment: the paper's headline cross-workload statistics.
+
+Collects the numbers quoted in the abstract and Section 6:
+
+* average WS_Normalized at 32KB (~1.67) and 64KB (~2.03), T = 10M;
+* two-page-size WS_Normalized range 1.01-1.22, average ~1.1;
+* the 32KB CPI_TLB reduction factor for the FA-16 TLB (roughly eight);
+* how many of the twelve programs improve with two page sizes on the
+  two-way TLBs (paper: eight of twelve at 16 entries);
+* the critical miss-penalty increase range over improving programs
+  (paper: ~30% to ~1200%).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.experiments.fig41 import run_fig41
+from repro.experiments.fig42 import run_fig42
+from repro.experiments.fig51 import run_fig51
+from repro.experiments.fig52 import run_fig52
+from repro.experiments.scale import ExperimentScale, default_scale
+from repro.metrics.cpi import critical_miss_penalty_increase
+from repro.metrics.wsnorm import geometric_mean
+from repro.report.table import TextTable
+from repro.types import PAGE_4KB, PAGE_32KB, PAGE_64KB
+
+
+@dataclass(frozen=True)
+class HeadlineResult:
+    """The cross-workload summary statistics."""
+
+    ws_normalized_32kb: float
+    ws_normalized_64kb: float
+    ws_normalized_two_size_mean: float
+    ws_normalized_two_size_range: Tuple[float, float]
+    fa16_reduction_factors: Dict[str, float]
+    improving_programs_16: List[str]
+    degrading_programs_16: List[str]
+    critical_penalty_range: Tuple[float, float]
+    scale: ExperimentScale
+
+    @property
+    def fa16_mean_reduction(self) -> float:
+        """Geometric mean of the per-program reduction factors.
+
+        The geometric mean is the right average for ratios: a couple of
+        programs whose misses all but vanish at 32KB (fpppp's code fits
+        in a handful of large pages) would dominate an arithmetic mean.
+        """
+        finite = [
+            factor
+            for factor in self.fa16_reduction_factors.values()
+            if math.isfinite(factor) and factor > 0
+        ]
+        return geometric_mean(finite) if finite else math.inf
+
+    def render(self) -> str:
+        table = TextTable(
+            ["Statistic", "Paper", "Measured"],
+            title="Headline statistics (paper vs this reproduction)",
+            float_format="{:.2f}",
+        )
+        low, high = self.ws_normalized_two_size_range
+        cp_low, cp_high = self.critical_penalty_range
+        table.add_row(
+            "avg WS_Normalized(32KB)", "1.67", self.ws_normalized_32kb
+        )
+        table.add_row(
+            "avg WS_Normalized(64KB)", "2.03", self.ws_normalized_64kb
+        )
+        table.add_row(
+            "avg WS_Normalized(4KB/32KB)",
+            "~1.1",
+            self.ws_normalized_two_size_mean,
+        )
+        table.add_row(
+            "WS_Normalized(4KB/32KB) range",
+            "1.01-1.22",
+            f"{low:.2f}-{high:.2f}",
+        )
+        table.add_row(
+            "FA-16 CPI reduction, 32KB vs 4KB",
+            "~3x-8x",
+            f"{self.fa16_mean_reduction:.1f}x",
+        )
+        table.add_row(
+            "programs improving w/ two sizes (16e 2-way)",
+            "8 of 12",
+            f"{len(self.improving_programs_16)} of 12",
+        )
+        table.add_row(
+            "critical penalty increase range",
+            "30%-1200%",
+            f"{cp_low:.0f}%-{cp_high:.0f}%",
+        )
+        return table.render()
+
+
+def run_headline(scale: ExperimentScale = None) -> HeadlineResult:
+    """Compute the headline statistics at the given scale."""
+    if scale is None:
+        scale = default_scale()
+    fig41 = run_fig41(scale)
+    fig42 = run_fig42(scale)
+    fig51 = run_fig51(scale)
+    fig52 = run_fig52(scale)
+
+    two_size_values = list(fig42.two_size.values())
+    reduction = {
+        name: fig51.reduction_factor(name, PAGE_32KB)
+        for name in fig51.workloads()
+    }
+
+    improving = []
+    degrading = []
+    critical: List[float] = []
+    for name in fig52.workloads():
+        baseline = fig52.single[name][(16, PAGE_4KB)].performance
+        candidate = fig52.two_size[name][16].performance
+        if candidate.cpi_tlb < baseline.cpi_tlb:
+            improving.append(name)
+            delta = critical_miss_penalty_increase(baseline, candidate)
+            if math.isfinite(delta):
+                critical.append(delta)
+        else:
+            degrading.append(name)
+
+    critical_range = (
+        (min(critical), max(critical)) if critical else (0.0, 0.0)
+    )
+    return HeadlineResult(
+        ws_normalized_32kb=fig41.average(PAGE_32KB),
+        ws_normalized_64kb=fig41.average(PAGE_64KB),
+        ws_normalized_two_size_mean=fig42.average_two_size(),
+        ws_normalized_two_size_range=(
+            min(two_size_values),
+            max(two_size_values),
+        ),
+        fa16_reduction_factors=reduction,
+        improving_programs_16=improving,
+        degrading_programs_16=degrading,
+        critical_penalty_range=critical_range,
+        scale=scale,
+    )

@@ -1,0 +1,130 @@
+"""Command-line experiment runner.
+
+``repro-experiments [names...]`` regenerates any subset of the paper's
+tables and figures at the default (or environment-overridden) scale and
+prints them in the paper's layout.  With no arguments it runs everything
+in paper order.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Callable, Dict
+
+from repro.experiments.ablations import (
+    run_multiprogramming_ablation,
+    run_twolevel_ablation,
+    run_walkcost_ablation,
+    run_penalty_ablation,
+    run_probe_ablation,
+    run_replacement_ablation,
+    run_split_ablation,
+    run_threshold_ablation,
+)
+from repro.experiments.fig41 import run_fig41
+from repro.experiments.fig42 import run_fig42
+from repro.experiments.fig51 import run_fig51
+from repro.experiments.fig52 import run_fig52
+from repro.experiments.headline import run_headline
+from repro.experiments.memdemand import run_memdemand
+from repro.experiments.pairs import run_pairs
+from repro.experiments.scale import ExperimentScale, default_scale
+from repro.experiments.table31 import run_table31
+from repro.experiments.table51 import run_table51
+
+#: Experiment name -> runner; paper artifacts first, then extensions.
+EXPERIMENTS: Dict[str, Callable[[ExperimentScale], object]] = {
+    "table31": run_table31,
+    "fig41": run_fig41,
+    "fig42": run_fig42,
+    "fig51": run_fig51,
+    "fig52": run_fig52,
+    "table51": run_table51,
+    "headline": run_headline,
+    "pairs": run_pairs,
+    "threshold": run_threshold_ablation,
+    "penalty": run_penalty_ablation,
+    "probe": run_probe_ablation,
+    "replacement": run_replacement_ablation,
+    "split": run_split_ablation,
+    "multiprogramming": run_multiprogramming_ablation,
+    "walkcost": run_walkcost_ablation,
+    "memdemand": run_memdemand,
+    "twolevel": run_twolevel_ablation,
+}
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``repro-experiments`` console script."""
+    parser = argparse.ArgumentParser(
+        description=(
+            "Regenerate the tables and figures of 'Tradeoffs in "
+            "Supporting Two Page Sizes' (ISCA 1992)."
+        )
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        choices=[*EXPERIMENTS, "all"],
+        default=["all"],
+        help="which experiments to run (default: all)",
+    )
+    parser.add_argument(
+        "--trace-length",
+        type=int,
+        default=None,
+        help="references per workload trace (default 400000)",
+    )
+    parser.add_argument(
+        "--window",
+        type=int,
+        default=None,
+        help="working-set window T in references (default 50000)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="regenerate traces instead of using the on-disk cache",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also print bar-chart renderings where an experiment has one",
+    )
+    parser.add_argument(
+        "--csv-dir",
+        default=None,
+        help="directory to write CSV series exports where available",
+    )
+    args = parser.parse_args(argv)
+
+    base = default_scale()
+    scale = ExperimentScale(
+        trace_length=args.trace_length or base.trace_length,
+        window=args.window or base.window,
+        use_cache=not args.no_cache,
+    )
+
+    names = list(EXPERIMENTS) if "all" in args.experiments else args.experiments
+    for name in names:
+        started = time.time()
+        result = EXPERIMENTS[name](scale)
+        elapsed = time.time() - started
+        print(result.render())
+        if args.chart and hasattr(result, "render_chart"):
+            print()
+            print(result.render_chart())
+        if args.csv_dir and hasattr(result, "to_csv"):
+            from pathlib import Path
+
+            directory = Path(args.csv_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.csv").write_text(result.to_csv() + "\n")
+        print(f"[{name}: {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""Experiment scaling knobs.
+
+The paper ran 1-3 *billion* reference traces with a working-set window
+of T = 10 million references and burned 5.5 CPU-months.  A pure-Python
+reproduction shrinks the *time* axis while keeping the paper's spatial
+scale (footprints, page sizes, TLB geometries): the default here is
+400K-reference traces with T = 50K, preserving the window/trace ratio
+within the paper's T = 10M..50M of 1-3G range.
+
+Every experiment takes an :class:`ExperimentScale`; the benchmark
+harness uses :func:`default_scale`, tests use :func:`smoke_scale`.
+``REPRO_TRACE_LENGTH`` / ``REPRO_WINDOW`` environment variables override
+the defaults for users with more patience.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.trace.record import Trace
+from repro.workloads.registry import cached_trace, generate_trace
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big to run the experiments.
+
+    Attributes:
+        trace_length: references per workload trace.
+        window: working-set window T (promotion policy and WS metrics).
+        seed: workload generator seed.
+        use_cache: cache generated traces on disk between runs.
+    """
+
+    trace_length: int = 400_000
+    window: int = 50_000
+    seed: int = 0
+    use_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.trace_length <= 0:
+            raise ConfigurationError("trace_length must be positive")
+        if self.window <= 0:
+            raise ConfigurationError("window must be positive")
+        if self.window > self.trace_length:
+            raise ConfigurationError(
+                "window larger than the trace makes every working-set "
+                "measurement trivial; shrink the window"
+            )
+
+    def trace(self, name: str) -> Trace:
+        """Materialise the named workload's trace at this scale."""
+        if self.use_cache:
+            return cached_trace(name, self.trace_length, self.seed)
+        return generate_trace(name, self.trace_length, self.seed)
+
+
+def default_scale() -> ExperimentScale:
+    """The benchmark-harness scale, overridable via environment."""
+    return ExperimentScale(
+        trace_length=int(os.environ.get("REPRO_TRACE_LENGTH", 400_000)),
+        window=int(os.environ.get("REPRO_WINDOW", 50_000)),
+    )
+
+
+def smoke_scale(trace_length: int = 60_000, window: int = 8_000,
+                seed: Optional[int] = None) -> ExperimentScale:
+    """A fast scale for tests: seconds, not minutes, per experiment."""
+    return ExperimentScale(
+        trace_length=trace_length,
+        window=window,
+        seed=0 if seed is None else seed,
+        use_cache=False,
+    )

@@ -1,0 +1,134 @@
+"""Experiment: Table 5.1 — indexing schemes for set-associative TLBs.
+
+Four CPI_TLB columns per program, for 16- and 32-entry two-way TLBs:
+
+1. ``4KB`` — a conventional single-size TLB (small-page index, 20-cycle
+   penalty).
+2. ``4KB large index`` — two-page-size hardware indexed by the chunk
+   bits while the software allocates *no* large pages (25-cycle
+   penalty): Section 5.2.1's cautionary case.
+3. ``4KB/32KB large index`` — the dynamic policy with large-page
+   indexing.
+4. ``4KB/32KB exact index`` — the dynamic policy with exact indexing.
+
+Findings to reproduce: column 2 degrades badly versus column 1 (the
+chunk bits are a poor index for small pages); exact indexing is usually
+at least as good as large-page indexing but comparable in over half the
+programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.scale import ExperimentScale, default_scale
+from repro.policy.promotion import StaticSmallPolicy
+from repro.report.table import TextTable
+from repro.sim.config import TLBConfig, TwoSizeScheme
+from repro.sim.driver import RunResult, run_two_sizes, run_with_policy
+from repro.sim.sweep import sweep_single_size
+from repro.tlb.indexing import IndexingScheme
+from repro.types import PAGE_4KB, PAIR_4KB_32KB
+
+#: Column labels in paper order.
+TABLE51_COLUMNS = (
+    "4KB",
+    "4KB large index",
+    "4KB/32KB large index",
+    "4KB/32KB exact index",
+)
+
+#: Total entry counts of the two table halves (both two-way).
+TABLE51_ENTRIES = (16, 32)
+
+
+@dataclass(frozen=True)
+class Table51Result:
+    """CPI_TLB per workload per (entries, column)."""
+
+    values: Dict[str, Dict[Tuple[int, str], RunResult]]
+    scale: ExperimentScale
+
+    def workloads(self) -> List[str]:
+        return list(self.values)
+
+    def cpi(self, name: str, entries: int, column: str) -> float:
+        return self.values[name][(entries, column)].cpi_tlb
+
+    def render(self) -> str:
+        blocks = []
+        for entries in TABLE51_ENTRIES:
+            table = TextTable(
+                ["Program", *TABLE51_COLUMNS],
+                title=(
+                    f"Table 5.1: indexing schemes, {entries}-entry two-way "
+                    f"(CPI_TLB)"
+                ),
+            )
+            for name, cells in self.values.items():
+                table.add_row(
+                    name,
+                    *[cells[(entries, column)].cpi_tlb
+                      for column in TABLE51_COLUMNS],
+                )
+            blocks.append(table.render())
+        return "\n\n".join(blocks)
+
+
+def run_table51(
+    scale: ExperimentScale = None,
+    entry_counts: Sequence[int] = TABLE51_ENTRIES,
+) -> Table51Result:
+    """Measure Table 5.1 at the given scale."""
+    if scale is None:
+        scale = default_scale()
+    from repro.workloads.registry import all_workloads
+
+    small_index_configs = [
+        TLBConfig(entries, 2, IndexingScheme.SMALL_INDEX)
+        for entries in entry_counts
+    ]
+    large_index_configs = [
+        TLBConfig(entries, 2, IndexingScheme.LARGE_INDEX)
+        for entries in entry_counts
+    ]
+    exact_index_configs = [
+        TLBConfig(entries, 2, IndexingScheme.EXACT_INDEX)
+        for entries in entry_counts
+    ]
+    scheme = TwoSizeScheme(window=scale.window)
+
+    values: Dict[str, Dict[Tuple[int, str], RunResult]] = {}
+    for workload in all_workloads():
+        trace = scale.trace(workload.name)
+        cells: Dict[Tuple[int, str], RunResult] = {}
+
+        # Column 1: conventional 4KB TLB (one stack pass for both sizes).
+        swept = sweep_single_size(trace, [PAGE_4KB], small_index_configs)
+        for config in small_index_configs:
+            cells[(config.entries, "4KB")] = swept[(PAGE_4KB, config.label)]
+
+        # Column 2: large-page indexing with no large pages allocated;
+        # the hardware supports two sizes, so the 25-cycle penalty applies.
+        no_large = run_with_policy(
+            trace, StaticSmallPolicy(PAIR_4KB_32KB), large_index_configs
+        )
+        for result in no_large:
+            cells[(result.config.entries, "4KB large index")] = result
+
+        # Columns 3-4: the dynamic policy, both indexing schemes, all
+        # geometries — one shared trace pass.
+        dynamic = run_two_sizes(
+            trace, scheme, large_index_configs + exact_index_configs
+        )
+        for result in dynamic:
+            column = (
+                "4KB/32KB large index"
+                if result.config.scheme is IndexingScheme.LARGE_INDEX
+                else "4KB/32KB exact index"
+            )
+            cells[(result.config.entries, column)] = result
+
+        values[workload.name] = cells
+    return Table51Result(values, scale)

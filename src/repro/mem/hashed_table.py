@@ -1,0 +1,204 @@
+"""Hashed page table with size-tagged entries (Section 2.3's alternative).
+
+The paper's miss-handler discussion weighs "a multi-level table or
+split tables accessed by trying all page sizes in some order" and notes
+that "a software cache of translation entries indexed using techniques
+similar to those discussed above might be advantageous".  This module
+implements that alternative: one open-hash table whose entries carry
+the page size in their tag (exactly like the TLB's entries), probed
+with the small-page hash first and the large-page hash second.
+
+Compared with :class:`~repro.mem.page_table.TwoPageSizePageTable`:
+
+* a **hit on the first probe costs one memory touch** plus chain steps
+  (vs two for the two-level radix walk) — cheaper when chains are
+  short;
+* collisions chain within a bucket, so touches *degrade* with load
+  factor, whereas the radix walk is always exactly two reads;
+* the same small-then-large probe order reproduces the asymmetric
+  small/large miss costs the walk-cost model studies.
+
+The translation results are identical by construction; only the touch
+counts differ — which is the interesting comparison for handler cost.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem.page_table import Translation
+from repro.types import PAIR_4KB_32KB, PageSizePair, is_power_of_two
+
+
+class HashedPageTable:
+    """Open-hash translation table supporting two page sizes.
+
+    Presents the same mapping interface as
+    :class:`~repro.mem.page_table.TwoPageSizePageTable` so the two
+    organisations are drop-in comparable.
+
+    Args:
+        pair: the page-size pair.
+        buckets: number of hash buckets (power of two); the classic
+            sizing rule is ~2x the expected mapping count.
+    """
+
+    def __init__(
+        self, pair: PageSizePair = PAIR_4KB_32KB, buckets: int = 1024
+    ) -> None:
+        if not is_power_of_two(buckets):
+            raise ConfigurationError("bucket count must be a power of two")
+        self.pair = pair
+        self._mask = buckets - 1
+        # bucket -> list of ((page, large), frame_base)
+        self._buckets: Dict[int, List[Tuple[Tuple[int, bool], int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Mapping maintenance.
+    # ------------------------------------------------------------------
+
+    def map_small(self, block: int, frame_base: int) -> None:
+        """Install a small-page mapping for ``block``."""
+        self._check_alignment(frame_base, self.pair.small)
+        chunk = block // self.pair.blocks_per_chunk
+        if self._find((chunk, True)) is not None:
+            raise SimulationError(
+                f"block {block} already covered by a large-page mapping"
+            )
+        self._insert((block, False), frame_base)
+
+    def map_large(self, chunk: int, frame_base: int) -> None:
+        """Install a large-page mapping for ``chunk``."""
+        self._check_alignment(frame_base, self.pair.large)
+        base = chunk * self.pair.blocks_per_chunk
+        for block in range(base, base + self.pair.blocks_per_chunk):
+            if self._find((block, False)) is not None:
+                raise SimulationError(
+                    f"chunk {chunk} still has a small mapping for "
+                    f"block {block}"
+                )
+        self._insert((chunk, True), frame_base)
+
+    def unmap_small(self, block: int) -> Optional[int]:
+        """Remove a small-page mapping; returns its frame or None."""
+        return self._remove((block, False))
+
+    def unmap_large(self, chunk: int) -> Optional[int]:
+        """Remove a large-page mapping; returns its frame or None."""
+        return self._remove((chunk, True))
+
+    # ------------------------------------------------------------------
+    # The walk.
+    # ------------------------------------------------------------------
+
+    def walk(self, address: int) -> Optional[Translation]:
+        """Translate ``address``, probing the small-page hash first.
+
+        Memory touches count one per chain entry examined (each is a
+        memory read in a software handler), across both probes.
+        """
+        pair = self.pair
+        block = address >> pair.small_shift
+        touches, frame = self._probe((block, False))
+        if frame is not None:
+            return Translation(frame, pair.small, touches)
+        chunk = address >> pair.large_shift
+        more_touches, frame = self._probe((chunk, True))
+        touches += more_touches
+        if frame is not None:
+            return Translation(frame, pair.large, touches)
+        return None
+
+    # ------------------------------------------------------------------
+    # Introspection (API parity with TwoPageSizePageTable, so either
+    # organisation can back the MMU).
+    # ------------------------------------------------------------------
+
+    def lookup_small(self, block: int) -> Optional[int]:
+        """Return the frame base mapped for ``block``, or None."""
+        return self._find((block, False))
+
+    def lookup_large(self, chunk: int) -> Optional[int]:
+        """Return the large frame base mapped for ``chunk``, or None."""
+        return self._find((chunk, True))
+
+    def large_covers_block(self, block: int) -> bool:
+        """Return True if ``block`` falls inside a large-page mapping."""
+        return self._find((block // self.pair.blocks_per_chunk, True)) is not None
+
+    def small_mapping_count(self) -> int:
+        return sum(
+            1
+            for chain in self._buckets.values()
+            for (key, _frame) in chain
+            if not key[1]
+        )
+
+    def large_mapping_count(self) -> int:
+        return sum(
+            1
+            for chain in self._buckets.values()
+            for (key, _frame) in chain
+            if key[1]
+        )
+
+    def load_factor(self) -> float:
+        """Mappings per bucket (chain-length pressure)."""
+        total = sum(len(chain) for chain in self._buckets.values())
+        return total / (self._mask + 1)
+
+    # ------------------------------------------------------------------
+    # Hash machinery.
+    # ------------------------------------------------------------------
+
+    def _bucket_of(self, key: Tuple[int, bool]) -> int:
+        page, large = key
+        # Fibonacci-style multiplicative hash; the size bit perturbs the
+        # stream so a chunk and an equal-numbered block do not collide
+        # systematically.
+        value = (page * 2654435761 + (0x9E3779B9 if large else 0)) & 0xFFFFFFFF
+        return (value >> 16) & self._mask
+
+    def _probe(self, key: Tuple[int, bool]) -> Tuple[int, Optional[int]]:
+        """Return (touches, frame or None) for one hash probe."""
+        chain = self._buckets.get(self._bucket_of(key), [])
+        touches = 0
+        for entry_key, frame in chain:
+            touches += 1
+            if entry_key == key:
+                return touches, frame
+        # An empty chain still costs one read of the bucket head.
+        return max(touches, 1), None
+
+    def _find(self, key: Tuple[int, bool]) -> Optional[int]:
+        _touches, frame = self._probe(key)
+        return frame
+
+    def _insert(self, key: Tuple[int, bool], frame: int) -> None:
+        chain = self._buckets.setdefault(self._bucket_of(key), [])
+        for index, (entry_key, _frame) in enumerate(chain):
+            if entry_key == key:
+                chain[index] = (key, frame)
+                return
+        chain.append((key, frame))
+
+    def _remove(self, key: Tuple[int, bool]) -> Optional[int]:
+        bucket = self._bucket_of(key)
+        chain = self._buckets.get(bucket)
+        if not chain:
+            return None
+        for index, (entry_key, frame) in enumerate(chain):
+            if entry_key == key:
+                del chain[index]
+                if not chain:
+                    del self._buckets[bucket]
+                return frame
+        return None
+
+    @staticmethod
+    def _check_alignment(frame_base: int, page_size: int) -> None:
+        if frame_base % page_size != 0:
+            raise ConfigurationError(
+                f"frame base {frame_base:#x} not aligned on {page_size} bytes"
+            )

@@ -1,0 +1,231 @@
+"""An integrated MMU: TLB + page-size policy + page table + frame allocator.
+
+The figure/table experiments only need miss counts, but a downstream user
+of this library gets the whole machine: this module wires a TLB model, a
+page-size assignment policy, the two-page-size page table and the buddy
+frame allocator into a single ``translate(address)`` engine with cycle
+accounting.  It also implements the *mechanics* of promotion that the
+paper costs out in Section 3.4: unmapping the small pages, allocating a
+contiguous large frame (which can fail under external fragmentation —
+promotions are then cancelled), copying resident blocks, and shooting
+down stale TLB entries.
+
+Demotion takes the lazy route: the large mapping and TLB entry are
+removed and the chunk's blocks are re-mapped on demand at their next
+touch — the data is already resident, so this costs page-table
+bookkeeping, not page faults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.mem.misshandler import MissPenaltyModel, two_size_penalty
+from repro.mem.page_table import TwoPageSizePageTable
+from repro.mem.physalloc import BuddyAllocator
+from repro.policy.promotion import PageSizeAssignmentPolicy
+from repro.tlb.base import TLB
+from repro.types import MB, PageSizePair
+
+
+@dataclass(frozen=True)
+class TranslationOutcome:
+    """What one :meth:`MemoryManagementUnit.translate` call produced.
+
+    Attributes:
+        physical: the translated physical address.
+        tlb_hit: whether the TLB satisfied the lookup.
+        page_fault: whether this reference first-touched an unmapped page.
+        cycles: miss-handling cycles charged to this reference.
+    """
+
+    physical: int
+    tlb_hit: bool
+    page_fault: bool
+    cycles: float
+
+
+@dataclass
+class MMUStatistics:
+    """Aggregate counters for an MMU run."""
+
+    translations: int = 0
+    page_faults: int = 0
+    promotions_applied: int = 0
+    promotions_cancelled: int = 0
+    demotions_applied: int = 0
+    blocks_copied: int = 0
+    cycles: float = 0.0
+    _ignore: None = field(default=None, repr=False, compare=False)
+
+
+class MemoryManagementUnit:
+    """Drives address translation end to end.
+
+    Args:
+        tlb: any :class:`repro.tlb.base.TLB` model.
+        policy: page-size assignment policy; its decisions control which
+            page size backs each chunk.
+        penalty: cycle cost model; defaults to the paper's two-page-size
+            25-cycle penalty.
+        memory_size: physical memory backing the frame allocator.
+    """
+
+    def __init__(
+        self,
+        tlb: TLB,
+        policy: PageSizeAssignmentPolicy,
+        *,
+        penalty: Optional[MissPenaltyModel] = None,
+        memory_size: int = 64 * MB,
+        page_table=None,
+    ) -> None:
+        self.tlb = tlb
+        self.policy = policy
+        self.pair: PageSizePair = policy.pair
+        self.penalty = penalty if penalty is not None else two_size_penalty()
+        if memory_size < self.pair.large:
+            raise ConfigurationError(
+                "physical memory smaller than one large page"
+            )
+        # Any organisation with the TwoPageSizePageTable interface works
+        # (e.g. repro.mem.hashed_table.HashedPageTable).
+        self.page_table = (
+            page_table
+            if page_table is not None
+            else TwoPageSizePageTable(self.pair)
+        )
+        self.allocator = BuddyAllocator(memory_size, self.pair.small)
+        self.stats = MMUStatistics()
+        # Blocks whose data has ever been resident: mapping creations for
+        # these are remaps (e.g. after demotion), not page faults.
+        self._touched_blocks: set = set()
+
+    def translate(self, address: int) -> TranslationOutcome:
+        """Translate one virtual address, performing all side effects."""
+        pair = self.pair
+        decision = self.policy.access(address)
+        large = decision.large
+
+        if decision.demoted_chunk is not None:
+            self._apply_demotion(decision.demoted_chunk)
+        if decision.promoted_chunk is not None:
+            applied = self._apply_promotion(decision.promoted_chunk)
+            if not applied and decision.promoted_chunk == pair.chunk_of(address):
+                large = False  # promotion cancelled; stay on small pages
+
+        block = address >> pair.small_shift
+        chunk = address >> pair.large_shift
+        hit = self.tlb.access(block, chunk, large)
+        self.stats.translations += 1
+
+        cycles = 0.0
+        page_fault = False
+        if not hit:
+            cycles = self.penalty.miss_cycles
+            page_fault = self._ensure_mapped(block, chunk, large)
+        self.stats.cycles += cycles
+
+        translation = self.page_table.walk(address)
+        offset_mask = translation.page_size - 1
+        physical = translation.frame_base | (address & offset_mask)
+        return TranslationOutcome(physical, hit, page_fault, cycles)
+
+    # ------------------------------------------------------------------
+    # Promotion / demotion mechanics (Section 3.4's cost list).
+    # ------------------------------------------------------------------
+
+    def _apply_promotion(self, chunk: int) -> bool:
+        """Promote ``chunk`` to a large page; returns False if cancelled."""
+        pair = self.pair
+        frame = self.allocator.try_allocate(pair.large)
+        if frame is None:
+            # External fragmentation: no contiguous large frame.  Cancel
+            # and tell the policy so its mapping state stays truthful.
+            self.stats.promotions_cancelled += 1
+            cancel = getattr(self.policy, "cancel_promotion", None)
+            if cancel is not None:
+                cancel(chunk)
+            return False
+
+        base_block = chunk * pair.blocks_per_chunk
+        for block in range(base_block, base_block + pair.blocks_per_chunk):
+            old_frame = self.page_table.unmap_small(block)
+            if old_frame is not None:
+                # Copying a resident small page into the large frame.
+                self.allocator.free(old_frame)
+                self.stats.blocks_copied += 1
+        self.page_table.map_large(chunk, frame)
+        self.tlb.invalidate_small_pages_of_chunk(chunk, pair.blocks_per_chunk)
+        # Promotion pages in / zeroes the chunk's non-resident blocks
+        # (Section 3.4 cost (c)): the whole chunk is now resident.
+        self._touched_blocks.update(self._chunk_blocks(chunk))
+        self.stats.promotions_applied += 1
+        self.stats.cycles += self.penalty.promotion_cycles
+        return True
+
+    def _apply_demotion(self, chunk: int) -> None:
+        """Demote ``chunk``: drop the large mapping, remap lazily."""
+        frame = self.page_table.unmap_large(chunk)
+        if frame is not None:
+            self.allocator.free(frame)
+        self.tlb.invalidate_large_page(chunk)
+        self.stats.demotions_applied += 1
+        self.stats.cycles += self.penalty.demotion_cycles
+
+    def _ensure_mapped(self, block: int, chunk: int, large: bool) -> bool:
+        """Create the mapping a TLB fill needs; returns True on page fault.
+
+        A page fault means the data was never resident before; creating a
+        mapping for previously resident data (the lazy remap after a
+        demotion) is OS bookkeeping, not a fault.
+        """
+        pair = self.pair
+        if large:
+            if self.page_table.lookup_large(chunk) is not None:
+                return False
+            # The paper's promotion path goes through _apply_promotion;
+            # this path is a large page mapped on first touch (e.g. the
+            # static all-large policy).
+            for mapped_block in self._chunk_blocks(chunk):
+                old_frame = self.page_table.unmap_small(mapped_block)
+                if old_frame is not None:
+                    self.allocator.free(old_frame)
+            frame = self.allocator.try_allocate(pair.large)
+            if frame is None:
+                raise ConfigurationError(
+                    "physical memory exhausted; enlarge memory_size"
+                )
+            self.page_table.map_large(chunk, frame)
+            fault = not any(
+                candidate in self._touched_blocks
+                for candidate in self._chunk_blocks(chunk)
+            )
+            self._touched_blocks.update(self._chunk_blocks(chunk))
+            if fault:
+                self.stats.page_faults += 1
+            return fault
+
+        if self.page_table.lookup_small(block) is not None:
+            return False
+        if self.page_table.large_covers_block(block):
+            # Covered by a large mapping (e.g. after a cancelled or raced
+            # decision); nothing to install.
+            return False
+        frame = self.allocator.try_allocate(pair.small)
+        if frame is None:
+            raise ConfigurationError(
+                "physical memory exhausted; enlarge memory_size"
+            )
+        self.page_table.map_small(block, frame)
+        fault = block not in self._touched_blocks
+        self._touched_blocks.add(block)
+        if fault:
+            self.stats.page_faults += 1
+        return fault
+
+    def _chunk_blocks(self, chunk: int) -> range:
+        base = chunk * self.pair.blocks_per_chunk
+        return range(base, base + self.pair.blocks_per_chunk)

@@ -1,0 +1,147 @@
+"""Buddy allocator for physical page frames.
+
+Supporting two page sizes introduces **external fragmentation** (Section
+1, disadvantage five): a large page needs a naturally aligned contiguous
+32KB region of physical memory, which may be unavailable even when
+plenty of scattered 4KB frames are free.  A buddy allocator is the
+classic OS answer — power-of-two blocks, self-aligned, split on demand
+and coalesced with their "buddy" on free — and is what lets us quantify
+how often promotions would fail for lack of contiguity (an ablation the
+paper lists as an open problem).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.types import is_power_of_two, log2_exact
+
+
+class BuddyAllocator:
+    """Power-of-two buddy allocator over ``[0, memory_size)``.
+
+    Args:
+        memory_size: total physical memory in bytes (power of two).
+        min_block: smallest allocatable block (the small page size).
+    """
+
+    def __init__(self, memory_size: int, min_block: int = 4096) -> None:
+        if not is_power_of_two(memory_size):
+            raise ConfigurationError("memory_size must be a power of two")
+        if not is_power_of_two(min_block):
+            raise ConfigurationError("min_block must be a power of two")
+        if min_block > memory_size:
+            raise ConfigurationError("min_block exceeds memory_size")
+        self.memory_size = memory_size
+        self.min_block = min_block
+        self._min_order = log2_exact(min_block)
+        self._max_order = log2_exact(memory_size)
+        # order -> sorted-unimportant list of free block base addresses
+        self._free: Dict[int, List[int]] = {
+            order: [] for order in range(self._min_order, self._max_order + 1)
+        }
+        self._free[self._max_order].append(0)
+        # base address -> order, for every live allocation
+        self._allocated: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Allocation interface.
+    # ------------------------------------------------------------------
+
+    def allocate(self, size: int) -> int:
+        """Allocate a naturally aligned block of ``size`` bytes.
+
+        Raises :class:`AllocationError` when no sufficiently large free
+        block exists (external fragmentation), even if total free memory
+        would suffice.
+        """
+        order = self._order_for(size)
+        found = None
+        for candidate in range(order, self._max_order + 1):
+            if self._free[candidate]:
+                found = candidate
+                break
+        if found is None:
+            raise AllocationError(
+                f"no free block of {size} bytes (free={self.free_bytes()}, "
+                f"largest={self.largest_free_block()})"
+            )
+        base = self._free[found].pop()
+        # Split down to the requested order, returning upper halves.
+        while found > order:
+            found -= 1
+            self._free[found].append(base + (1 << found))
+        self._allocated[base] = order
+        return base
+
+    def free(self, base: int) -> None:
+        """Free a previously allocated block, coalescing with buddies."""
+        order = self._allocated.pop(base, None)
+        if order is None:
+            raise AllocationError(f"address {base:#x} is not allocated")
+        while order < self._max_order:
+            buddy = base ^ (1 << order)
+            free_list = self._free[order]
+            try:
+                free_list.remove(buddy)
+            except ValueError:
+                break
+            base = min(base, buddy)
+            order += 1
+        self._free[order].append(base)
+
+    def try_allocate(self, size: int) -> Optional[int]:
+        """Like :meth:`allocate` but returns None instead of raising."""
+        try:
+            return self.allocate(size)
+        except AllocationError:
+            return None
+
+    # ------------------------------------------------------------------
+    # Fragmentation metrics.
+    # ------------------------------------------------------------------
+
+    def free_bytes(self) -> int:
+        """Total free memory."""
+        return sum(
+            len(blocks) << order for order, blocks in self._free.items()
+        )
+
+    def allocated_bytes(self) -> int:
+        """Total allocated memory."""
+        return self.memory_size - self.free_bytes()
+
+    def largest_free_block(self) -> int:
+        """Size of the largest allocatable block right now."""
+        for order in range(self._max_order, self._min_order - 1, -1):
+            if self._free[order]:
+                return 1 << order
+        return 0
+
+    def external_fragmentation(self) -> float:
+        """1 - largest_free_block / free_bytes (0 when memory is unfragmented).
+
+        The standard summary statistic: how much of the free memory is
+        unusable for the largest request the free total could serve.
+        """
+        free = self.free_bytes()
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block() / free
+
+    def _order_for(self, size: int) -> int:
+        if size <= 0:
+            raise ConfigurationError(f"allocation size must be positive: {size}")
+        if not is_power_of_two(size):
+            raise ConfigurationError(
+                f"buddy allocations must be powers of two, got {size}"
+            )
+        order = log2_exact(size)
+        if order < self._min_order:
+            order = self._min_order
+        if order > self._max_order:
+            raise AllocationError(
+                f"request of {size} bytes exceeds memory size {self.memory_size}"
+            )
+        return order

@@ -1,0 +1,133 @@
+"""TLB performance metrics (Section 3.2 of the paper).
+
+The paper's headline metric is the TLB's contribution to cycles per
+instruction::
+
+    CPI_TLB = (TLB misses per instruction) * (TLB miss penalty)
+
+with derived quantities::
+
+    MPI        = CPI_TLB / penalty
+    miss ratio = MPI / RPI        (RPI = references per instruction)
+
+and the *critical miss penalty increase* — how much costlier a two-page-
+size miss handler could get before losing to the 4KB baseline::
+
+    delta_mp(ps) = (MPI(4KB) / MPI(ps) - 1) * 100%
+                 = (1.25 * CPI_TLB(4KB) / CPI_TLB(ps) - 1) * 100%
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.mem.misshandler import (
+    SINGLE_SIZE_PENALTY_CYCLES,
+    TWO_SIZE_PENALTY_FACTOR,
+)
+
+
+@dataclass(frozen=True)
+class TLBPerformance:
+    """One simulation run's TLB performance in the paper's units.
+
+    Attributes:
+        misses: total TLB misses.
+        references: total memory references simulated.
+        refs_per_instruction: the trace's RPI (Table 3.1).
+        miss_penalty_cycles: cycles charged per miss (20 or 25).
+        extra_cycles: cycles charged beyond miss handling (reprobe or
+            promotion surcharges), folded into CPI_TLB.
+    """
+
+    misses: int
+    references: int
+    refs_per_instruction: float
+    miss_penalty_cycles: float
+    extra_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.references < 0 or self.misses < 0:
+            raise SimulationError("negative counts are impossible")
+        if self.misses > self.references:
+            raise SimulationError("more misses than references")
+        if self.refs_per_instruction <= 0:
+            raise SimulationError("refs_per_instruction must be positive")
+
+    @property
+    def instructions(self) -> float:
+        """Instructions executed, recovered from references / RPI."""
+        return self.references / self.refs_per_instruction
+
+    @property
+    def misses_per_instruction(self) -> float:
+        """MPI: TLB misses per instruction."""
+        if self.references == 0:
+            return 0.0
+        return self.misses / self.instructions
+
+    @property
+    def miss_ratio(self) -> float:
+        """Misses per memory reference."""
+        if self.references == 0:
+            return 0.0
+        return self.misses / self.references
+
+    @property
+    def cpi_tlb(self) -> float:
+        """The TLB's contribution to cycles per instruction."""
+        if self.references == 0:
+            return 0.0
+        cycles = self.misses * self.miss_penalty_cycles + self.extra_cycles
+        return cycles / self.instructions
+
+
+def critical_miss_penalty_increase(
+    baseline: TLBPerformance,
+    two_size: TLBPerformance,
+    *,
+    factor: float = TWO_SIZE_PENALTY_FACTOR,
+) -> float:
+    """The paper's delta-mp: tolerable penalty increase, in percent.
+
+    ``baseline`` is the single-4KB-page run (20-cycle penalty) and
+    ``two_size`` the two-page-size run.  A value of 30.0 means the
+    two-page-size handler could take 30% longer than the single-size
+    handler before CPI_TLB equalled the 4KB baseline; negative values
+    mean the two-page-size scheme already loses.
+    """
+    if two_size.misses == 0:
+        return math.inf
+    mpi_ratio = baseline.misses_per_instruction / two_size.misses_per_instruction
+    return (mpi_ratio - 1.0) * 100.0
+
+
+def speedup_over_baseline(
+    baseline: TLBPerformance, candidate: TLBPerformance
+) -> float:
+    """CPI_TLB(baseline) / CPI_TLB(candidate); > 1 means candidate wins."""
+    if candidate.cpi_tlb == 0.0:
+        return math.inf
+    return baseline.cpi_tlb / candidate.cpi_tlb
+
+
+def performance_from_miss_count(
+    misses: int,
+    references: int,
+    refs_per_instruction: float,
+    *,
+    two_page_sizes: bool,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    extra_cycles: float = 0.0,
+) -> TLBPerformance:
+    """Build a :class:`TLBPerformance` with the paper's penalty rules."""
+    penalty = base_penalty * (TWO_SIZE_PENALTY_FACTOR if two_page_sizes else 1.0)
+    return TLBPerformance(
+        misses=misses,
+        references=references,
+        refs_per_instruction=refs_per_instruction,
+        miss_penalty_cycles=penalty,
+        extra_cycles=extra_cycles,
+    )

@@ -1,0 +1,85 @@
+"""Normalized working-set size (Section 3.2).
+
+``WS_Normalized(ps) = s(T, ps) / s(T, 4KB)`` — the factor by which a
+page-size scheme inflates a program's average working set relative to
+the 4KB baseline.  The paper reads memory cost off this number: 1.5
+means half again as much memory demand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.errors import SimulationError
+from repro.types import PAGE_4KB
+
+
+@dataclass(frozen=True)
+class NormalizedWorkingSet:
+    """A working-set measurement normalised to the 4KB baseline.
+
+    Attributes:
+        scheme: label of the page-size scheme (e.g. ``"32KB"``,
+            ``"4KB/32KB"``).
+        baseline_bytes: s(T, 4KB) in bytes.
+        scheme_bytes: s(T, scheme) in bytes.
+    """
+
+    scheme: str
+    baseline_bytes: float
+    scheme_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.baseline_bytes < 0 or self.scheme_bytes < 0:
+            raise SimulationError("working-set sizes cannot be negative")
+
+    @property
+    def normalized(self) -> float:
+        """WS_Normalized: the inflation factor over 4KB pages."""
+        if self.baseline_bytes == 0:
+            return 1.0
+        return self.scheme_bytes / self.baseline_bytes
+
+    @property
+    def percent_increase(self) -> float:
+        """The inflation expressed as a percentage increase."""
+        return (self.normalized - 1.0) * 100.0
+
+
+def normalize_working_sets(
+    measurements: Mapping[str, float],
+    *,
+    baseline_key: str = f"{PAGE_4KB // 1024}KB",
+) -> Dict[str, NormalizedWorkingSet]:
+    """Normalise {scheme label: ws bytes} against the baseline entry."""
+    if baseline_key not in measurements:
+        raise SimulationError(
+            f"baseline {baseline_key!r} missing from measurements "
+            f"{sorted(measurements)}"
+        )
+    baseline = measurements[baseline_key]
+    return {
+        scheme: NormalizedWorkingSet(scheme, baseline, value)
+        for scheme, value in measurements.items()
+    }
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean, the right average for ratio metrics like
+    WS_Normalized (the paper reports plain averages; we report both)."""
+    if not values:
+        raise SimulationError("geometric mean of no values")
+    product = 1.0
+    for value in values:
+        if value <= 0:
+            raise SimulationError("geometric mean needs positive values")
+        product *= value
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Plain average, as the paper's cross-workload summaries use."""
+    if not values:
+        raise SimulationError("mean of no values")
+    return sum(values) / len(values)

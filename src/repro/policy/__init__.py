@@ -1,0 +1,31 @@
+"""Page-size assignment policies and the working-set window they share.
+
+Implements Section 3.4 of the paper: the dynamic chunk-promotion policy,
+static baselines, and the dynamic two-page-size working-set calculator.
+"""
+
+from repro.policy.dynamic_ws import (
+    DynamicWorkingSetResult,
+    dynamic_average_working_set,
+)
+from repro.policy.promotion import (
+    DynamicPromotionPolicy,
+    ExplicitAssignmentPolicy,
+    PageDecision,
+    PageSizeAssignmentPolicy,
+    StaticLargePolicy,
+    StaticSmallPolicy,
+)
+from repro.policy.window import SlidingBlockWindow
+
+__all__ = [
+    "DynamicPromotionPolicy",
+    "DynamicWorkingSetResult",
+    "ExplicitAssignmentPolicy",
+    "PageDecision",
+    "PageSizeAssignmentPolicy",
+    "SlidingBlockWindow",
+    "StaticLargePolicy",
+    "StaticSmallPolicy",
+    "dynamic_average_working_set",
+]

@@ -1,0 +1,6 @@
+"""Plain-text result presentation in the paper's style."""
+
+from repro.report.figures import GroupedBarChart, series_csv
+from repro.report.table import TextTable
+
+__all__ = ["GroupedBarChart", "TextTable", "series_csv"]

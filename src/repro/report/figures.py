@@ -1,0 +1,110 @@
+"""Figure-style output: grouped ASCII bar charts and CSV series.
+
+The paper's Figures 5.1/5.2 are grouped bar charts (one group per
+program, one bar per page-size scheme).  :class:`GroupedBarChart`
+renders the same visual in plain text so benchmark output can be *read*
+like the paper's figures; :func:`series_csv` exports the identical data
+for external plotting.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import List, Mapping, Sequence
+
+from repro.errors import ReproError
+
+#: Characters used for the bar body and its tip.
+_BAR = "█"
+_TIP = "▏"
+
+
+class GroupedBarChart:
+    """A grouped horizontal bar chart rendered in monospace text.
+
+    Args:
+        series_labels: the bar names within each group (page-size
+            schemes), rendered in order.
+        width: maximum bar length in characters.
+    """
+
+    def __init__(self, series_labels: Sequence[str], *, width: int = 40,
+                 title: str = "", value_format: str = "{:.3f}") -> None:
+        if not series_labels:
+            raise ReproError("a chart needs at least one series")
+        if width < 10:
+            raise ReproError("chart width below 10 characters is unreadable")
+        self.series_labels = list(series_labels)
+        self.width = width
+        self.title = title
+        self.value_format = value_format
+        self._groups: List[tuple] = []
+
+    def add_group(self, label: str, values: Mapping[str, float]) -> "GroupedBarChart":
+        """Add one group (e.g. one program) of bar values."""
+        missing = set(self.series_labels) - set(values)
+        if missing:
+            raise ReproError(f"group {label!r} missing series {sorted(missing)}")
+        for name, value in values.items():
+            if value < 0:
+                raise ReproError(f"bar value for {name!r} is negative")
+        self._groups.append((label, dict(values)))
+        return self
+
+    def render(self) -> str:
+        """Render all groups; bars share one global scale."""
+        if not self._groups:
+            raise ReproError("nothing to render: add_group first")
+        peak = max(
+            value
+            for _, values in self._groups
+            for value in values.values()
+        )
+        scale = (self.width / peak) if peak > 0 else 0.0
+        label_width = max(
+            len(series) for series in self.series_labels
+        )
+        out = io.StringIO()
+        if self.title:
+            out.write(self.title + "\n")
+        for group_label, values in self._groups:
+            out.write(f"{group_label}\n")
+            for series in self.series_labels:
+                value = values[series]
+                length = int(round(value * scale))
+                bar = _BAR * length if length else _TIP
+                rendered_value = self.value_format.format(value)
+                out.write(
+                    f"  {series.ljust(label_width)} {bar} {rendered_value}\n"
+                )
+        return out.getvalue().rstrip("\n")
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def series_csv(
+    row_labels: Sequence[str],
+    columns: Mapping[str, Mapping[str, float]],
+    *,
+    row_header: str = "program",
+) -> str:
+    """Render ``{column: {row: value}}`` as CSV with rows in given order.
+
+    Used to export figure data for external plotting tools.
+    """
+    if not columns:
+        raise ReproError("no columns to export")
+    column_names = list(columns)
+    lines = [",".join([row_header, *column_names])]
+    for row in row_labels:
+        cells = [row]
+        for column in column_names:
+            try:
+                cells.append(repr(float(columns[column][row])))
+            except KeyError:
+                raise ReproError(
+                    f"column {column!r} has no value for row {row!r}"
+                ) from None
+        lines.append(",".join(cells))
+    return "\n".join(lines)

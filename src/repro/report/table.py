@@ -1,0 +1,87 @@
+"""Plain-text tables in the paper's style.
+
+Every experiment renders its results through :class:`TextTable` so the
+benchmark harness prints rows directly comparable to the paper's tables
+(program name column, right-aligned numeric columns, section rules).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import ReproError
+
+Cell = Union[str, int, float, None]
+
+
+class TextTable:
+    """A fixed-column text table with paper-style number formatting."""
+
+    def __init__(
+        self,
+        headers: Sequence[str],
+        *,
+        title: Optional[str] = None,
+        float_format: str = "{:.3f}",
+    ) -> None:
+        if not headers:
+            raise ReproError("a table needs at least one column")
+        self.title = title
+        self.headers = list(headers)
+        self.float_format = float_format
+        self._rows: List[Optional[List[str]]] = []
+
+    def add_row(self, *cells: Cell) -> "TextTable":
+        """Append a data row; cell count must match the headers."""
+        if len(cells) != len(self.headers):
+            raise ReproError(
+                f"row has {len(cells)} cells; table has {len(self.headers)} "
+                f"columns"
+            )
+        self._rows.append([self._format(cell) for cell in cells])
+        return self
+
+    def add_rule(self) -> "TextTable":
+        """Append a horizontal rule (section separator)."""
+        self._rows.append(None)
+        return self
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(header) for header in self.headers]
+        for row in self._rows:
+            if row is None:
+                continue
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: Sequence[str]) -> str:
+            parts = []
+            for index, cell in enumerate(cells):
+                if index == 0:
+                    parts.append(cell.ljust(widths[index]))
+                else:
+                    parts.append(cell.rjust(widths[index]))
+            return "  ".join(parts).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        out: List[str] = []
+        if self.title:
+            out.append(self.title)
+        out.append(line(self.headers))
+        out.append(rule)
+        for row in self._rows:
+            out.append(rule if row is None else line(row))
+        return "\n".join(out)
+
+    def _format(self, cell: Cell) -> str:
+        if cell is None:
+            return "-"
+        if isinstance(cell, bool):  # bool is an int subclass; be explicit
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return self.float_format.format(cell)
+        return str(cell)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,25 @@
+"""Simulation drivers: declarative configs, single-size and two-size runs,
+and the all-associativity configuration sweep."""
+
+from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.sim.driver import (
+    RunResult,
+    run_single_size,
+    run_two_sizes,
+    run_with_policy,
+)
+from repro.sim.multiprog import MultiprogramResult, run_multiprogrammed
+from repro.sim.sweep import sweep_single_size
+
+__all__ = [
+    "MultiprogramResult",
+    "RunResult",
+    "SingleSizeScheme",
+    "TLBConfig",
+    "TwoSizeScheme",
+    "run_multiprogrammed",
+    "run_single_size",
+    "run_two_sizes",
+    "run_with_policy",
+    "sweep_single_size",
+]

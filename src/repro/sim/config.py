@@ -1,0 +1,117 @@
+"""Declarative TLB and page-size-scheme configurations.
+
+Experiments describe *what* to simulate with these frozen dataclasses and
+let the drivers build the mutable models.  A :class:`TLBConfig` names a
+hardware shape (the paper's are 16/32 entries, fully associative or
+two-way); a :class:`SingleSizeScheme` or :class:`TwoSizeScheme` names a
+page-size regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.tlb.base import TLB
+from repro.tlb.fully_assoc import FullyAssociativeTLB
+from repro.tlb.indexing import IndexingScheme, ProbeStrategy
+from repro.tlb.replacement import make_replacement_policy
+from repro.tlb.set_assoc import SetAssociativeTLB
+from repro.types import PAIR_4KB_32KB, PageSizePair, format_size
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """A TLB hardware shape.
+
+    Attributes:
+        entries: total entry count.
+        associativity: ways per set, or None for fully associative.
+        scheme: set-index scheme (ignored when fully associative).
+        probe_strategy: EXACT_INDEX probe style (parallel/sequential).
+        replacement: replacement policy name (``lru``/``fifo``/``random``).
+    """
+
+    entries: int
+    associativity: Optional[int] = None
+    scheme: IndexingScheme = IndexingScheme.EXACT_INDEX
+    probe_strategy: ProbeStrategy = ProbeStrategy.PARALLEL
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ConfigurationError("TLB needs at least one entry")
+        if self.associativity is not None:
+            if self.associativity <= 0:
+                raise ConfigurationError("associativity must be positive")
+            if self.entries % self.associativity != 0:
+                raise ConfigurationError(
+                    f"associativity {self.associativity} does not divide "
+                    f"{self.entries} entries"
+                )
+
+    @property
+    def fully_associative(self) -> bool:
+        """True when this config is a fully associative TLB."""
+        return self.associativity is None or self.associativity == self.entries
+
+    @property
+    def label(self) -> str:
+        """Short human-readable name, e.g. ``"16e-FA"`` or ``"32e-2way-exact"``."""
+        if self.fully_associative:
+            return f"{self.entries}e-FA"
+        return f"{self.entries}e-{self.associativity}way-{self.scheme.value}"
+
+    def build(self) -> TLB:
+        """Construct a fresh TLB model for one simulation run."""
+        replacement = make_replacement_policy(self.replacement)
+        if self.fully_associative:
+            return FullyAssociativeTLB(self.entries, replacement=replacement)
+        return SetAssociativeTLB(
+            self.entries,
+            self.associativity,
+            self.scheme,
+            probe_strategy=self.probe_strategy,
+            replacement=replacement,
+        )
+
+
+@dataclass(frozen=True)
+class SingleSizeScheme:
+    """A single-page-size regime (the paper's 4KB .. 64KB columns)."""
+
+    page_size: int
+
+    @property
+    def label(self) -> str:
+        return format_size(self.page_size)
+
+    @property
+    def two_page_sizes(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class TwoSizeScheme:
+    """A two-page-size regime under the dynamic promotion policy.
+
+    Attributes:
+        pair: the small/large page sizes (paper: 4KB/32KB).
+        window: working-set window T for the promotion policy.
+        promote_fraction: promotion threshold (paper: 0.5).
+        demote_fraction: demotion threshold; None = same as promotion.
+    """
+
+    pair: PageSizePair = PAIR_4KB_32KB
+    window: int = 100_000
+    promote_fraction: float = 0.5
+    demote_fraction: Optional[float] = None
+
+    @property
+    def label(self) -> str:
+        return str(self.pair)
+
+    @property
+    def two_page_sizes(self) -> bool:
+        return True

@@ -1,0 +1,210 @@
+"""Trace-driven simulation drivers.
+
+Two entry points:
+
+* :func:`run_single_size` — a conventional one-page-size TLB over a
+  trace.  (Experiments that sweep many single-size geometries use
+  :mod:`repro.stacksim` instead, which gets all of them from one pass;
+  this driver is the canonical reference the stack results are validated
+  against.)
+* :func:`run_with_policy` / :func:`run_two_sizes` — the two-page-size
+  simulation.  Page-size decisions are TLB-independent, so one policy
+  instance drives any number of TLB models in a single trace pass (the
+  same many-configurations-per-pass economics as the paper's ``tycho``),
+  with promotion/demotion shootdowns applied to every TLB.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.misshandler import (
+    SINGLE_SIZE_PENALTY_CYCLES,
+    TWO_SIZE_PENALTY_FACTOR,
+)
+from repro.metrics.cpi import TLBPerformance
+from repro.policy.promotion import (
+    DynamicPromotionPolicy,
+    PageSizeAssignmentPolicy,
+)
+from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.trace.record import Trace
+from repro.types import log2_exact
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of simulating one TLB configuration over one trace.
+
+    Attributes:
+        trace_name: workload name.
+        scheme_label: page-size regime label ("4KB", "4KB/32KB", ...).
+        config: the TLB hardware shape simulated.
+        references: references simulated.
+        misses: TLB misses observed.
+        large_misses: misses on references assigned to a large page.
+        reprobes: sequential-probe reprobes observed.
+        invalidations: entries shot down by promotions/demotions.
+        promotions / demotions: policy transitions during the run.
+        refs_per_instruction: the trace's RPI.
+        miss_penalty_cycles: penalty charged per miss for CPI_TLB.
+    """
+
+    trace_name: str
+    scheme_label: str
+    config: TLBConfig
+    references: int
+    misses: int
+    large_misses: int
+    reprobes: int
+    invalidations: int
+    promotions: int
+    demotions: int
+    refs_per_instruction: float
+    miss_penalty_cycles: float
+
+    @property
+    def performance(self) -> TLBPerformance:
+        """This run's metrics in the paper's units."""
+        return TLBPerformance(
+            misses=self.misses,
+            references=self.references,
+            refs_per_instruction=self.refs_per_instruction,
+            miss_penalty_cycles=self.miss_penalty_cycles,
+        )
+
+    @property
+    def cpi_tlb(self) -> float:
+        """Shorthand for ``performance.cpi_tlb``."""
+        return self.performance.cpi_tlb
+
+    @property
+    def miss_ratio(self) -> float:
+        """Shorthand for ``performance.miss_ratio``."""
+        return self.performance.miss_ratio
+
+
+def run_single_size(
+    trace: Trace,
+    scheme: SingleSizeScheme,
+    config: TLBConfig,
+    *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+) -> RunResult:
+    """Simulate one single-page-size TLB over ``trace``."""
+    tlb = config.build()
+    pages = (trace.addresses >> np.uint32(log2_exact(scheme.page_size))).tolist()
+    access = tlb.access_single
+    for page in pages:
+        access(page)
+    return RunResult(
+        trace_name=trace.name,
+        scheme_label=scheme.label,
+        config=config,
+        references=len(trace),
+        misses=tlb.stats.misses,
+        large_misses=0,
+        reprobes=tlb.stats.reprobes,
+        invalidations=0,
+        promotions=0,
+        demotions=0,
+        refs_per_instruction=trace.refs_per_instruction,
+        miss_penalty_cycles=base_penalty,
+    )
+
+
+def run_with_policy(
+    trace: Trace,
+    policy: PageSizeAssignmentPolicy,
+    configs: Sequence[TLBConfig],
+    *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+) -> List[RunResult]:
+    """Drive several TLB configs through one policy-managed trace pass.
+
+    The policy sees each reference exactly once; every TLB model sees
+    the identical (block, chunk, size) stream and the identical shootdown
+    events, so results across configs are directly comparable.
+    """
+    if not configs:
+        raise ConfigurationError("run_with_policy needs at least one TLBConfig")
+    tlbs = [config.build() for config in configs]
+    pair = policy.pair
+    blocks_shift = log2_exact(pair.blocks_per_chunk)
+    blocks = (trace.addresses >> np.uint32(pair.small_shift)).tolist()
+    blocks_per_chunk = pair.blocks_per_chunk
+    decide = policy.access_block
+
+    for block in blocks:
+        decision = decide(block)
+        promoted = decision.promoted_chunk
+        demoted = decision.demoted_chunk
+        if promoted is not None or demoted is not None:
+            for tlb in tlbs:
+                if demoted is not None:
+                    tlb.invalidate_large_page(demoted)
+                if promoted is not None:
+                    tlb.invalidate_small_pages_of_chunk(
+                        promoted, blocks_per_chunk
+                    )
+        chunk = block >> blocks_shift
+        large = decision.large
+        for tlb in tlbs:
+            tlb.access(block, chunk, large)
+
+    promotions = getattr(policy, "promotions", 0)
+    demotions = getattr(policy, "demotions", 0)
+    penalty = base_penalty * penalty_factor
+    return [
+        RunResult(
+            trace_name=trace.name,
+            scheme_label=str(pair),
+            config=config,
+            references=len(trace),
+            misses=tlb.stats.misses,
+            large_misses=tlb.stats.large_misses,
+            reprobes=tlb.stats.reprobes,
+            invalidations=tlb.stats.invalidations,
+            promotions=promotions,
+            demotions=demotions,
+            refs_per_instruction=trace.refs_per_instruction,
+            miss_penalty_cycles=penalty,
+        )
+        for config, tlb in zip(configs, tlbs)
+    ]
+
+
+def run_two_sizes(
+    trace: Trace,
+    scheme: TwoSizeScheme,
+    configs: Sequence[TLBConfig],
+    *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    policy: Optional[PageSizeAssignmentPolicy] = None,
+) -> List[RunResult]:
+    """Simulate the paper's two-page-size scheme over ``trace``.
+
+    Builds the Section 3.4 dynamic promotion policy from ``scheme``
+    (unless an explicit ``policy`` is supplied) and charges the paper's
+    25%-higher miss penalty.
+    """
+    if policy is None:
+        policy = DynamicPromotionPolicy(
+            scheme.pair,
+            scheme.window,
+            promote_fraction=scheme.promote_fraction,
+            demote_fraction=scheme.demote_fraction,
+        )
+    return run_with_policy(
+        trace,
+        policy,
+        configs,
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+    )

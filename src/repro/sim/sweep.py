@@ -1,0 +1,90 @@
+"""Single-page-size configuration sweeps via stack simulation.
+
+The paper simulated 84 TLB configurations per trace pass with ``tycho``'s
+all-associativity simulation; this module is the equivalent convenience:
+give it page sizes and TLB shapes, and it extracts every miss count from
+one :mod:`repro.stacksim` pass per (page size, set count) family.
+
+Set-index bits default to the low bits of the page number; an explicit
+``index_shift`` lets the caller index 4KB pages by large-page (chunk)
+bits — the degenerate "two-page-size hardware, no large pages allocated"
+case of Table 5.1's second column.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.misshandler import SINGLE_SIZE_PENALTY_CYCLES
+from repro.sim.config import SingleSizeScheme, TLBConfig
+from repro.sim.driver import RunResult
+from repro.stacksim.lru_stack import lru_miss_curve, per_set_miss_curve
+from repro.trace.record import Trace
+from repro.types import log2_exact
+
+
+def sweep_single_size(
+    trace: Trace,
+    page_sizes: Sequence[int],
+    configs: Sequence[TLBConfig],
+    *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    index_shift: int = 0,
+) -> Dict[Tuple[int, str], RunResult]:
+    """Miss counts for every (page size, TLB shape) pair.
+
+    Args:
+        trace: the reference trace.
+        page_sizes: page sizes to evaluate.
+        configs: TLB shapes; those sharing a set count share one pass.
+        base_penalty: per-miss cycles for CPI (20 in the paper).
+        index_shift: extra right-shift applied to the page number before
+            taking set-index bits (0 = conventional; 3 with 4KB pages =
+            index by 32KB chunk bits).
+
+    Returns:
+        {(page_size, config.label): RunResult}
+    """
+    if not configs:
+        raise ConfigurationError("sweep needs at least one TLBConfig")
+    results: Dict[Tuple[int, str], RunResult] = {}
+    for page_size in page_sizes:
+        pages = trace.addresses >> np.uint32(log2_exact(page_size))
+        by_sets: Dict[int, List[TLBConfig]] = {}
+        for config in configs:
+            sets = 1 if config.fully_associative else (
+                config.entries // config.associativity
+            )
+            by_sets.setdefault(sets, []).append(config)
+        for sets, group in by_sets.items():
+            if sets == 1:
+                depth = max(config.entries for config in group)
+                curve = lru_miss_curve(pages, max_capacity=depth)
+            else:
+                depth = max(
+                    config.entries // sets for config in group
+                )
+                indices = (pages >> np.uint32(index_shift)) & np.uint32(sets - 1)
+                curve = per_set_miss_curve(
+                    indices, pages, max_associativity=depth
+                )
+            for config in group:
+                ways = config.entries if sets == 1 else config.entries // sets
+                results[(page_size, config.label)] = RunResult(
+                    trace_name=trace.name,
+                    scheme_label=SingleSizeScheme(page_size).label,
+                    config=config,
+                    references=len(trace),
+                    misses=curve.misses(ways),
+                    large_misses=0,
+                    reprobes=0,
+                    invalidations=0,
+                    promotions=0,
+                    demotions=0,
+                    refs_per_instruction=trace.refs_per_instruction,
+                    miss_penalty_cycles=base_penalty,
+                )
+    return results

@@ -1,0 +1,84 @@
+"""All-associativity TLB sweeps for single page sizes (the ``tycho`` role).
+
+The paper simulated "more than one thousand TLB configurations" per trace
+by exploiting stack inclusion: one pass per set count yields miss counts
+for every associativity at that set count, and the fully associative case
+is the one-set special case.  This module packages those passes into a
+single call that sweeps page sizes and TLB geometries, which is how the
+figure/table experiments obtain all their single-page-size numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.address import page_numbers_array
+from repro.stacksim.lru_stack import MissCurve, lru_miss_curve, per_set_miss_curve
+from repro.trace.record import Trace
+from repro.types import is_power_of_two, validate_page_size
+
+
+@dataclass(frozen=True)
+class GeometryResult:
+    """Miss statistics for one (page size, set count) geometry family.
+
+    One :class:`MissCurve` covers every associativity at this geometry, so
+    a single ``GeometryResult`` answers e.g. both "16-entry two-way" (8
+    sets, associativity 2) and "8-way at 8 sets" queries.
+    """
+
+    page_size: int
+    sets: int
+    curve: MissCurve
+
+    def misses(self, associativity: int) -> int:
+        """Miss count for ``sets * associativity`` total entries."""
+        return self.curve.misses(associativity)
+
+    def miss_ratio(self, associativity: int) -> float:
+        """Miss ratio for ``sets * associativity`` total entries."""
+        return self.curve.miss_ratio(associativity)
+
+
+def sweep_single_page_size(
+    trace: Trace,
+    page_sizes: Sequence[int],
+    set_counts: Sequence[int],
+    *,
+    max_associativity: int = 16,
+) -> Dict[Tuple[int, int], GeometryResult]:
+    """Simulate every (page size, set count) pair in one pass each.
+
+    The set index is the low ``log2(sets)`` bits of the page number, the
+    conventional choice for a single-page-size TLB.  Use ``set_counts=[1]``
+    for fully associative TLBs (then "associativity" is the entry count).
+
+    Returns:
+        {(page_size, sets): GeometryResult} for every requested pair.
+    """
+    if not page_sizes:
+        raise ConfigurationError("page_sizes must not be empty")
+    if not set_counts:
+        raise ConfigurationError("set_counts must not be empty")
+    for sets in set_counts:
+        if not is_power_of_two(sets):
+            raise ConfigurationError(f"set count {sets} is not a power of two")
+
+    results: Dict[Tuple[int, int], GeometryResult] = {}
+    for page_size in page_sizes:
+        validate_page_size(page_size)
+        pages = page_numbers_array(trace.addresses, page_size)
+        for sets in set_counts:
+            if sets == 1:
+                curve = lru_miss_curve(pages, max_capacity=max_associativity)
+            else:
+                indices = pages & np.uint32(sets - 1)
+                curve = per_set_miss_curve(
+                    indices, pages, max_associativity=max_associativity
+                )
+            results[(page_size, sets)] = GeometryResult(page_size, sets, curve)
+    return results

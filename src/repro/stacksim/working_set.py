@@ -1,0 +1,101 @@
+"""Average working-set size calculation (Denning; Slutz & Traiger).
+
+The working set W(t, T) is the set of distinct pages referenced in the
+last *T* references; the paper reports the *average* working-set size
+s(T) over the whole trace (Section 3.2), measured in bytes.
+
+Slutz & Traiger (CACM 1974) observed that s(T) needs no per-window
+scanning: a page referenced at position *i* whose next reference to the
+same page is at position *n(i)* is a member of exactly ``min(n(i)-i, T)``
+windows (truncated at trace end for final references), so
+
+    s(T) = (1/k) * sum_i min(gap_i, T),     gap_i = n(i) - i  (or k - i).
+
+One pass computes the gap array; evaluating s(T) for any number of window
+sizes T is then a vectorised minimum-and-sum.  This is the "very few
+counters" variant the paper describes using for T up to 100 million.
+
+A direct sliding-window implementation is also provided; the property
+tests assert the two agree exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mem.address import page_numbers_array
+from repro.trace.record import Trace
+
+
+def forward_reference_gaps(pages: np.ndarray) -> np.ndarray:
+    """Return, for each reference, the distance to the next use of its page.
+
+    For the final reference to each page the gap runs to the end of the
+    trace (``k - i``), matching the truncated-window membership count.
+    """
+    pages = np.asarray(pages)
+    count = pages.size
+    if count == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(pages, kind="stable")
+    ordered = pages[order]
+    positions = order.astype(np.int64)
+    next_position = np.full(count, count, dtype=np.int64)
+    same_page = ordered[1:] == ordered[:-1]
+    next_position[positions[:-1][same_page]] = positions[1:][same_page]
+    return next_position - np.arange(count, dtype=np.int64)
+
+
+def average_working_set_pages(
+    pages: np.ndarray, windows: Sequence[int]
+) -> Dict[int, float]:
+    """Return {T: average working-set size in pages} for each window T."""
+    for window in windows:
+        if window <= 0:
+            raise ConfigurationError(f"window must be positive, got {window}")
+    gaps = forward_reference_gaps(pages)
+    count = gaps.size
+    if count == 0:
+        return {int(window): 0.0 for window in windows}
+    return {
+        int(window): float(np.minimum(gaps, window).sum()) / count
+        for window in windows
+    }
+
+
+def average_working_set_bytes(
+    trace: Trace, page_size: int, windows: Sequence[int]
+) -> Dict[int, float]:
+    """Return {T: average working-set size in bytes} at ``page_size``."""
+    pages = page_numbers_array(trace.addresses, page_size)
+    per_pages = average_working_set_pages(pages, windows)
+    return {window: size * page_size for window, size in per_pages.items()}
+
+
+def naive_average_working_set_pages(pages: Sequence[int], window: int) -> float:
+    """Direct sliding-window working-set average, for validation.
+
+    Maintains per-page counts over the last ``window`` references and a
+    running distinct-page total; O(refs) time but with a far larger
+    constant than the gap method, so only tests use it.
+    """
+    if window <= 0:
+        raise ConfigurationError(f"window must be positive, got {window}")
+    if isinstance(pages, np.ndarray):
+        pages = pages.tolist()
+    counts: Dict[int, int] = {}
+    total = 0.0
+    for position, page in enumerate(pages):
+        if position >= window:
+            expiring = pages[position - window]
+            remaining = counts[expiring] - 1
+            if remaining == 0:
+                del counts[expiring]
+            else:
+                counts[expiring] = remaining
+        counts[page] = counts.get(page, 0) + 1
+        total += len(counts)
+    return total / len(pages) if pages else 0.0

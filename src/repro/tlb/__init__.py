@@ -1,0 +1,45 @@
+"""TLB models supporting one or two page sizes — the paper's Section 2.
+
+Exports the fully associative model (2.1), the set-associative model with
+its three indexing schemes and two probe strategies (2.2), the split
+per-page-size composite (2.2 option c), and the replacement policies.
+"""
+
+from repro.tlb.base import TLB
+from repro.tlb.context import ContextSwitchPolicy, MultiprogrammedTLB
+from repro.tlb.entry import decode_tag, encode_tag
+from repro.tlb.fully_assoc import FullyAssociativeTLB
+from repro.tlb.indexing import IndexingScheme, ProbeStrategy
+from repro.tlb.replacement import (
+    FIFOReplacement,
+    LRUReplacement,
+    RandomReplacement,
+    ReplacementPolicy,
+    make_replacement_policy,
+)
+from repro.tlb.replacement import TreePLRUReplacement
+from repro.tlb.set_assoc import SetAssociativeTLB
+from repro.tlb.split import SplitTLB
+from repro.tlb.stats import TLBStatistics
+from repro.tlb.twolevel import TwoLevelTLB
+
+__all__ = [
+    "ContextSwitchPolicy",
+    "FIFOReplacement",
+    "FullyAssociativeTLB",
+    "IndexingScheme",
+    "MultiprogrammedTLB",
+    "LRUReplacement",
+    "ProbeStrategy",
+    "RandomReplacement",
+    "ReplacementPolicy",
+    "SetAssociativeTLB",
+    "SplitTLB",
+    "TLB",
+    "TLBStatistics",
+    "TreePLRUReplacement",
+    "TwoLevelTLB",
+    "decode_tag",
+    "encode_tag",
+    "make_replacement_policy",
+]

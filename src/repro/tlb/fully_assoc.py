@@ -1,0 +1,46 @@
+"""Fully associative TLB supporting two page sizes (Section 2.1).
+
+The conceptually simple design: every entry carries the page size in its
+tag and (logically) owns a comparator, so any entry can hold any page.
+The cost argument against it — a comparator per entry — is why the paper
+studies set-associative alternatives; the simulation model is simply a
+single LRU set of full capacity.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tlb.base import TLB
+from repro.tlb.entry import encode_tag
+from repro.tlb.replacement import ReplacementPolicy
+
+
+class FullyAssociativeTLB(TLB):
+    """One set, ``entries``-way associative, page size in the tag.
+
+    Hit detection follows Section 2.1: each *entry's* stored page size
+    selects which address bits its tag is compared against, so a lookup
+    matches a small-page entry for the address's block or a large-page
+    entry for the address's chunk, whichever is resident — independent
+    of the page size the assignment policy currently intends (that only
+    chooses what a miss fills).  With a well-behaved OS both can never
+    be valid simultaneously, but the hardware model must not assume so.
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        replacement: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        super().__init__(entries, sets=1, replacement=replacement)
+
+    def access(self, block: int, chunk: int, large: bool = False) -> bool:
+        if self._probe(0, encode_tag(block, False)) or self._probe(
+            0, encode_tag(chunk, True)
+        ):
+            self.stats.record_hit(large)
+            return True
+        self.stats.record_miss(large)
+        self._fill(0, encode_tag(chunk if large else block, large))
+        return False

@@ -1,0 +1,55 @@
+"""Set-index schemes for TLBs supporting two page sizes (Section 2.2).
+
+Given two aligned power-of-two page sizes, which address bits select the
+set?  The paper analyses three choices:
+
+* ``SMALL_INDEX`` — always use the low bits of the *small* page number.
+  Broken by design for large pages: bits below the large-page boundary
+  are page-offset bits of a large page, so one large page scatters
+  copies across up to ``blocks_per_chunk`` sets, "negating the very
+  reason to support both large and small pages".  Included because the
+  paper includes it (and the degenerate single-size TLB is this scheme).
+* ``LARGE_INDEX`` — always use the low bits of the *large* page number.
+  Sound for large pages; small pages sharing a chunk collide in one set
+  (mitigated by associativity and by the OS promoting chunks whose
+  blocks are used together).
+* ``EXACT_INDEX`` — use the page's own size to pick the bits.  The size
+  is unknown at lookup time, so hardware must probe both candidate sets
+  (in parallel, sequentially with a reprobe, or with split per-size
+  TLBs — Section 2.2 options a/b/c).
+
+The probe *strategy* for ``EXACT_INDEX`` does not change what hits; it
+changes probe cost, which the simulator records as ``stats.reprobes``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class IndexingScheme(enum.Enum):
+    """Which page number supplies the set-index bits."""
+
+    SMALL_INDEX = "small"
+    LARGE_INDEX = "large"
+    EXACT_INDEX = "exact"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+class ProbeStrategy(enum.Enum):
+    """How EXACT_INDEX hardware resolves the unknown page size at lookup.
+
+    PARALLEL models a dual-ported/replicated structure probing both sets
+    at once (option a); SEQUENTIAL probes the small-page set first and
+    reprobes with the large-page index on a miss (option b, after
+    Kessler et al.'s reprobing caches).  Option c, split TLBs, is a
+    separate structure: :class:`repro.tlb.split.SplitTLB`.
+    """
+
+    PARALLEL = "parallel"
+    SEQUENTIAL = "sequential"
+
+    def __str__(self) -> str:
+        return self.value

@@ -1,0 +1,191 @@
+"""Replacement policies for TLB sets.
+
+A TLB set (or a whole fully associative TLB) is represented as a plain
+list of entries.  A replacement policy decides how a hit reorders the
+list and which entry a fill displaces.  The paper assumes LRU throughout;
+FIFO and random are provided for the ablation benchmarks, since 1992-era
+hardware often approximated LRU with cheaper schemes.
+
+The list convention is *most recent first* for LRU, *newest first* for
+FIFO; a policy owns the meaning of list order and callers never reorder
+entries themselves.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class ReplacementPolicy(ABC):
+    """Strategy controlling entry order and victim choice within a set."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def touch(self, entries: List[Any], position: int) -> None:
+        """Update bookkeeping after a hit on ``entries[position]``."""
+
+    @abstractmethod
+    def insert(
+        self, entries: List[Any], entry: Any, capacity: int
+    ) -> Optional[Any]:
+        """Insert ``entry``, evicting and returning a victim if the set is full."""
+
+
+class LRUReplacement(ReplacementPolicy):
+    """Least-recently-used: hits move to the front, fills evict the back."""
+
+    name = "lru"
+
+    def touch(self, entries: List[Any], position: int) -> None:
+        if position != 0:
+            entry = entries.pop(position)
+            entries.insert(0, entry)
+
+    def insert(
+        self, entries: List[Any], entry: Any, capacity: int
+    ) -> Optional[Any]:
+        victim = entries.pop() if len(entries) >= capacity else None
+        entries.insert(0, entry)
+        return victim
+
+
+class FIFOReplacement(ReplacementPolicy):
+    """First-in-first-out: hits do not reorder, fills evict the oldest."""
+
+    name = "fifo"
+
+    def touch(self, entries: List[Any], position: int) -> None:
+        pass  # FIFO order is insertion order; hits change nothing.
+
+    def insert(
+        self, entries: List[Any], entry: Any, capacity: int
+    ) -> Optional[Any]:
+        victim = entries.pop() if len(entries) >= capacity else None
+        entries.insert(0, entry)
+        return victim
+
+
+class RandomReplacement(ReplacementPolicy):
+    """Random victim choice, deterministic under a caller-supplied seed."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = random.Random(seed)
+
+    def touch(self, entries: List[Any], position: int) -> None:
+        pass  # random replacement keeps no recency state.
+
+    def insert(
+        self, entries: List[Any], entry: Any, capacity: int
+    ) -> Optional[Any]:
+        victim = None
+        if len(entries) >= capacity:
+            victim = entries.pop(self._rng.randrange(len(entries)))
+        entries.insert(0, entry)
+        return victim
+
+
+class TreePLRUReplacement(ReplacementPolicy):
+    """Tree pseudo-LRU: the cheap hardware approximation of LRU.
+
+    Real TLBs rarely build true LRU above two ways; a binary tree of
+    "went-left/went-right" bits per set approximates it with one bit per
+    internal node.  This implementation keeps one tree per set (keyed by
+    the set list's identity), sized to the set's capacity rounded up to
+    a power of two.
+
+    On a hit or fill, the bits along the entry's path flip to point away
+    from it; the victim is found by following the bits.
+    """
+
+    name = "plru"
+
+    def __init__(self) -> None:
+        self._trees: dict = {}
+
+    def _tree_for(self, entries: List[Any], capacity: int) -> List[int]:
+        key = id(entries)
+        ways = 1
+        while ways < capacity:
+            ways *= 2
+        tree = self._trees.get(key)
+        if tree is None or len(tree) < ways - 1:
+            # First sight of this set (or it was sized before the real
+            # capacity was known): start from cold PLRU bits.
+            tree = [0] * max(1, ways - 1)
+            self._trees[key] = tree
+        return tree
+
+    @staticmethod
+    def _touch_path(tree: List[int], way: int, ways: int) -> None:
+        """Point every node on ``way``'s path away from it."""
+        node = 0
+        span = ways
+        low = 0
+        while span > 1:
+            span //= 2
+            if way < low + span:
+                tree[node] = 1  # next victim search goes right
+                node = 2 * node + 1
+            else:
+                tree[node] = 0  # next victim search goes left
+                node = 2 * node + 2
+                low += span
+
+    @staticmethod
+    def _victim_way(tree: List[int], ways: int) -> int:
+        node = 0
+        span = ways
+        low = 0
+        while span > 1:
+            span //= 2
+            if tree[node] == 0:
+                node = 2 * node + 1
+            else:
+                node = 2 * node + 2
+                low += span
+        return low
+
+    def touch(self, entries: List[Any], position: int) -> None:
+        tree = self._tree_for(entries, max(len(entries), 1))
+        self._touch_path(tree, position, len(tree) + 1)
+
+    def insert(
+        self, entries: List[Any], entry: Any, capacity: int
+    ) -> Optional[Any]:
+        tree = self._tree_for(entries, capacity)
+        ways = len(tree) + 1
+        victim = None
+        if len(entries) >= capacity:
+            way = min(self._victim_way(tree, ways), len(entries) - 1)
+            victim = entries[way]
+            entries[way] = entry
+            self._touch_path(tree, way, ways)
+            return victim
+        entries.append(entry)
+        self._touch_path(tree, len(entries) - 1, ways)
+        return victim
+
+
+def make_replacement_policy(name: str, *, seed: int = 0) -> ReplacementPolicy:
+    """Construct a replacement policy by name
+    (``lru``/``fifo``/``random``/``plru``)."""
+    if name == "lru":
+        return LRUReplacement()
+    if name == "fifo":
+        return FIFOReplacement()
+    if name == "random":
+        return RandomReplacement(seed)
+    if name == "plru":
+        return TreePLRUReplacement()
+    raise ConfigurationError(f"unknown replacement policy {name!r}")
+
+
+#: Convenience tuple used by sweeps and tests.
+REPLACEMENT_POLICY_NAMES: Tuple[str, ...] = ("lru", "fifo", "random", "plru")

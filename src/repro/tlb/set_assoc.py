@@ -1,0 +1,103 @@
+"""Set-associative TLB supporting two page sizes (Section 2.2).
+
+The set index is derived from the small page number, the large page
+number, or the exact page number, per :class:`~repro.tlb.indexing.
+IndexingScheme`.  See that module's docstring for the tradeoffs; this
+module implements the lookup/fill behaviour each scheme implies:
+
+* SMALL_INDEX — the probed and filled set comes from the reference's
+  block number for both page sizes.  A large page therefore lands in
+  whichever set the *offset* bits select, so distinct accesses to one
+  large page can populate several sets with duplicate tags.
+* LARGE_INDEX — the probed and filled set comes from the chunk number
+  for both page sizes; a chunk's small pages all contend for one set.
+* EXACT_INDEX — small pages index by block bits, large pages by chunk
+  bits.  Lookups must probe both candidate sets because the page size is
+  unknown until a tag matches; the probe strategy (parallel vs
+  sequential reprobe) decides only the cost, recorded in
+  ``stats.reprobes``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.tlb.base import TLB
+from repro.tlb.entry import encode_tag
+from repro.tlb.indexing import IndexingScheme, ProbeStrategy
+from repro.tlb.replacement import ReplacementPolicy
+
+
+class SetAssociativeTLB(TLB):
+    """Set-associative TLB with a selectable two-page-size index scheme.
+
+    Args:
+        entries: total entry count (paper: 16 or 32).
+        associativity: ways per set (paper: 2).
+        scheme: which page number supplies the index bits.
+        probe_strategy: EXACT_INDEX lookup style; ignored otherwise.
+        replacement: within-set replacement policy (default LRU).
+    """
+
+    def __init__(
+        self,
+        entries: int,
+        associativity: int,
+        scheme: IndexingScheme = IndexingScheme.EXACT_INDEX,
+        *,
+        probe_strategy: ProbeStrategy = ProbeStrategy.PARALLEL,
+        replacement: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        super().__init__(entries, entries // associativity, replacement)
+        self.scheme = scheme
+        self.probe_strategy = probe_strategy
+        self._set_mask = self.sets - 1
+
+    def access(self, block: int, chunk: int, large: bool = False) -> bool:
+        scheme = self.scheme
+        if scheme is IndexingScheme.SMALL_INDEX:
+            return self._access_one_set(block & self._set_mask, block, chunk, large)
+        if scheme is IndexingScheme.LARGE_INDEX:
+            return self._access_one_set(chunk & self._set_mask, block, chunk, large)
+        return self._access_exact(block, chunk, large)
+
+    def _access_one_set(
+        self, set_index: int, block: int, chunk: int, large: bool
+    ) -> bool:
+        """SMALL_INDEX / LARGE_INDEX: one candidate set for either size.
+
+        Both page sizes' tags are compared (the entry's stored size
+        selects the comparison, Section 2.1); the policy's size choice
+        only decides what a miss fills.
+        """
+        if self._probe(set_index, encode_tag(block, False)) or self._probe(
+            set_index, encode_tag(chunk, True)
+        ):
+            self.stats.record_hit(large)
+            return True
+        self.stats.record_miss(large)
+        self._fill(set_index, encode_tag(chunk if large else block, large))
+        return False
+
+    def _access_exact(self, block: int, chunk: int, large: bool) -> bool:
+        """EXACT_INDEX: probe the small-indexed and large-indexed sets."""
+        small_set = block & self._set_mask
+        large_set = chunk & self._set_mask
+        sequential = self.probe_strategy is ProbeStrategy.SEQUENTIAL
+
+        if self._probe(small_set, encode_tag(block, False)):
+            # Found as a small page (first probe in the sequential order).
+            self.stats.record_hit(large)
+            return True
+        if self._probe(large_set, encode_tag(chunk, True)):
+            if sequential:
+                self.stats.reprobes += 1
+            self.stats.record_hit(large)
+            return True
+
+        if sequential:
+            self.stats.reprobes += 1
+        self.stats.record_miss(large)
+        fill_set = large_set if large else small_set
+        self._fill(fill_set, encode_tag(chunk if large else block, large))
+        return False

@@ -1,0 +1,105 @@
+"""Two-level TLB hierarchies.
+
+Section 1 of the paper explains why TLBs could not simply grow: with a
+physically tagged L1 cache, the TLB sits on every load's critical path,
+so a big (or multi-ported) TLB slows *all* memory references.  The
+design the industry converged on — and a natural extension experiment
+here — is a hierarchy: a tiny fully associative micro-TLB backed by a
+larger, slower second level, with the software walk only on an L2 miss.
+
+:class:`TwoLevelTLB` composes any two TLB models.  On an L1 miss the L2
+is probed; an L2 hit refills L1 (charging ``l2_hit_cycles``); an L2 miss
+refills both (charging the full software penalty, accounted by the
+caller's penalty model exactly as for a flat TLB, with L2-hit cycles
+reported separately in ``l2_hits``).
+
+Inclusion is not enforced (refills go to both levels; evictions are
+independent) — matching real micro-TLB designs, which tolerate
+non-inclusive contents because entries are clean.
+"""
+
+from __future__ import annotations
+
+from repro.tlb.base import TLB
+
+
+class TwoLevelTLB(TLB):
+    """A small L1 TLB backed by a larger L2 TLB.
+
+    Statistics: the composite's ``stats`` count references and *overall*
+    misses (both levels missed — the events that invoke the software
+    handler); ``l2_hits`` counts L1 misses satisfied by the L2 (each
+    costing an ``l2_hit_cycles`` stall rather than a full walk).
+    """
+
+    def __init__(self, level1: TLB, level2: TLB,
+                 l2_hit_cycles: float = 4.0) -> None:
+        super().__init__(level1.entries + level2.entries, sets=1)
+        self._sets = []  # entries live in the component levels
+        self.level1 = level1
+        self.level2 = level2
+        self.l2_hit_cycles = l2_hit_cycles
+        self.l2_hits = 0
+
+    def access(self, block: int, chunk: int, large: bool = False) -> bool:
+        if self.level1.access(block, chunk, large):
+            self.stats.record_hit(large)
+            return True
+        # The L1 model has already filled itself on its miss; the probe
+        # below decides whether that fill came from L2 or from the walk.
+        if self.level2.access(block, chunk, large):
+            self.l2_hits += 1
+            self.stats.record_hit(large)
+            return True
+        self.stats.record_miss(large)
+        return False
+
+    def extra_hit_cycles(self) -> float:
+        """Total stall cycles spent on L2 hits (beyond L1 hit time)."""
+        return self.l2_hits * self.l2_hit_cycles
+
+    def invalidate_small_pages_of_chunk(
+        self, chunk: int, blocks_per_chunk: int
+    ) -> int:
+        removed = self.level1.invalidate_small_pages_of_chunk(
+            chunk, blocks_per_chunk
+        ) + self.level2.invalidate_small_pages_of_chunk(
+            chunk, blocks_per_chunk
+        )
+        self.stats.invalidations += removed
+        return removed
+
+    def invalidate_large_page(self, chunk: int) -> int:
+        removed = self.level1.invalidate_large_page(
+            chunk
+        ) + self.level2.invalidate_large_page(chunk)
+        self.stats.invalidations += removed
+        return removed
+
+    def flush(self) -> None:
+        self.level1.flush()
+        self.level2.flush()
+
+    def reset(self) -> None:
+        self.level1.reset()
+        self.level2.reset()
+        self.stats.reset()
+        self.l2_hits = 0
+
+    def resident(self):
+        seen = set()
+        for entry in self.level1.resident():
+            seen.add(entry)
+            yield entry
+        for entry in self.level2.resident():
+            if entry not in seen:
+                yield entry
+
+    def occupancy(self) -> int:
+        return len(set(self.level1.resident()) | set(self.level2.resident()))
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoLevelTLB(l1={self.level1!r}, l2={self.level2!r}, "
+            f"l2_hit_cycles={self.l2_hit_cycles})"
+        )

@@ -1,0 +1,160 @@
+"""``repro-trace``: command-line trace utilities.
+
+Subcommands:
+
+* ``generate`` — produce a workload trace file (binary ``.rpt`` or
+  dinero-style text);
+* ``info`` — print a trace's statistics (length, footprint, mix,
+  working set at a chosen window);
+* ``convert`` — translate between the binary and text formats;
+* ``mix`` — round-robin interleave several trace files into one
+  multiprogrammed trace.
+
+These make the library's traces interoperable with external simulators
+(the text format is dinero-compatible) without writing Python.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.errors import ReproError
+from repro.stacksim.working_set import average_working_set_bytes
+from repro.trace.mix import round_robin_mix
+from repro.trace.record import Trace
+from repro.trace.stats import compute_statistics
+from repro.trace.trace_io import (
+    read_text_trace,
+    read_trace,
+    write_text_trace,
+    write_trace,
+)
+from repro.types import PAGE_4KB, format_size
+from repro.workloads.registry import generate_trace, workload_names
+
+
+def _load(path: str) -> Trace:
+    """Read a trace, auto-detecting binary vs text by suffix."""
+    if path.endswith(".rpt"):
+        return read_trace(path)
+    return read_text_trace(path)
+
+
+def _store(path: str, trace: Trace) -> None:
+    """Write a trace, auto-detecting binary vs text by suffix."""
+    if path.endswith(".rpt"):
+        write_trace(path, trace)
+    else:
+        write_text_trace(path, trace)
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    trace = generate_trace(args.workload, args.length, args.seed)
+    _store(args.output, trace)
+    print(
+        f"wrote {args.length:,} references of {args.workload} "
+        f"(seed {args.seed}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    trace = _load(args.trace)
+    stats = compute_statistics(trace, PAGE_4KB)
+    print(f"name:            {trace.name}")
+    print(f"references:      {stats.length:,}")
+    print(f"refs/instr:      {trace.refs_per_instruction:.2f}")
+    print(f"distinct pages:  {stats.distinct_pages:,} (4KB)")
+    print(f"footprint:       {stats.footprint}")
+    print(
+        f"mix:             {stats.ifetch_count:,} ifetch / "
+        f"{stats.load_count:,} load / {stats.store_count:,} store"
+    )
+    if args.window and stats.length:
+        window = min(args.window, stats.length)
+        ws = average_working_set_bytes(trace, PAGE_4KB, [window])[window]
+        print(f"working set:     {format_size(ws)} (T={window:,}, 4KB)")
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    trace = _load(args.source)
+    _store(args.destination, trace)
+    print(f"converted {args.source} -> {args.destination}")
+    return 0
+
+
+def _cmd_mix(args: argparse.Namespace) -> int:
+    traces = [_load(path) for path in args.traces]
+    mixed = round_robin_mix(
+        traces, quantum=args.quantum, context_stride=args.stride
+    )
+    _store(args.output, mixed)
+    print(
+        f"mixed {len(traces)} traces ({len(mixed):,} references, "
+        f"quantum {args.quantum:,}) into {args.output}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Generate, inspect, convert and mix memory traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    generate = sub.add_parser("generate", help="generate a workload trace")
+    generate.add_argument("workload", choices=workload_names())
+    generate.add_argument("output", help=".rpt (binary) or .din (text) path")
+    generate.add_argument("--length", type=int, default=400_000)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.set_defaults(func=_cmd_generate)
+
+    info = sub.add_parser("info", help="print a trace's statistics")
+    info.add_argument("trace")
+    info.add_argument(
+        "--window",
+        type=int,
+        default=50_000,
+        help="working-set window T (0 to skip the measurement)",
+    )
+    info.set_defaults(func=_cmd_info)
+
+    convert = sub.add_parser("convert", help="convert between formats")
+    convert.add_argument("source")
+    convert.add_argument("destination")
+    convert.set_defaults(func=_cmd_convert)
+
+    mix = sub.add_parser("mix", help="round-robin mix traces")
+    mix.add_argument("traces", nargs="+")
+    mix.add_argument("--output", required=True)
+    mix.add_argument("--quantum", type=int, default=50_000)
+    mix.add_argument(
+        "--stride",
+        type=int,
+        default=1 << 30,
+        help=(
+            "address-space offset between programs (must exceed every "
+            "program's highest address; default 1GB fits four contexts)"
+        ),
+    )
+    mix.set_defaults(func=_cmd_mix)
+    return parser
+
+
+def main(argv=None) -> int:
+    """Entry point for the ``repro-trace`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as error:
+        print(f"repro-trace: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

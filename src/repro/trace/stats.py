@@ -1,0 +1,83 @@
+"""Trace statistics.
+
+Summarises a trace the way the paper's Table 3.1 summarises each workload:
+reference count, footprint (distinct memory touched) at a given page size,
+and the mix of instruction fetches, loads and stores.  Also provides the
+per-page reference histogram used by workload tests to check that a
+generator produces the locality profile it claims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.mem.address import page_numbers_array
+from repro.trace.record import KIND_IFETCH, KIND_LOAD, KIND_STORE, Trace
+from repro.types import PAGE_4KB, format_size
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Aggregate statistics of one trace at one page size.
+
+    Attributes:
+        length: total number of references.
+        page_size: page size used for footprint accounting, in bytes.
+        distinct_pages: number of distinct pages touched anywhere in the trace.
+        footprint_bytes: ``distinct_pages * page_size``.
+        ifetch_count: number of instruction-fetch references.
+        load_count: number of data-load references.
+        store_count: number of data-store references.
+    """
+
+    length: int
+    page_size: int
+    distinct_pages: int
+    footprint_bytes: int
+    ifetch_count: int
+    load_count: int
+    store_count: int
+
+    @property
+    def footprint(self) -> str:
+        """Footprint formatted like the paper (e.g. ``"1.5MB"``)."""
+        return format_size(self.footprint_bytes)
+
+    @property
+    def data_fraction(self) -> float:
+        """Fraction of references that are data (loads + stores)."""
+        if self.length == 0:
+            return 0.0
+        return (self.load_count + self.store_count) / self.length
+
+
+def compute_statistics(trace: Trace, page_size: int = PAGE_4KB) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` for ``trace`` at ``page_size``."""
+    pages = page_numbers_array(trace.addresses, page_size)
+    distinct = int(np.unique(pages).size) if pages.size else 0
+    kind_counts = np.bincount(trace.kinds, minlength=3) if len(trace) else [0, 0, 0]
+    return TraceStatistics(
+        length=len(trace),
+        page_size=page_size,
+        distinct_pages=distinct,
+        footprint_bytes=distinct * page_size,
+        ifetch_count=int(kind_counts[KIND_IFETCH]),
+        load_count=int(kind_counts[KIND_LOAD]),
+        store_count=int(kind_counts[KIND_STORE]),
+    )
+
+
+def page_reference_histogram(
+    trace: Trace, page_size: int = PAGE_4KB
+) -> Dict[int, int]:
+    """Map each distinct page number to its reference count.
+
+    Workload tests use this to assert locality properties, e.g. that a
+    "hot region" program concentrates most references on few pages.
+    """
+    pages = page_numbers_array(trace.addresses, page_size)
+    unique, counts = np.unique(pages, return_counts=True)
+    return {int(page): int(count) for page, count in zip(unique, counts)}

@@ -1,0 +1,155 @@
+"""On-disk trace formats.
+
+Two formats are supported:
+
+* A compact **binary format** (``.rpt``) used by the benchmark harness to
+  cache generated workload traces between runs.  Layout (little-endian)::
+
+      magic   4 bytes   b"RPT1"
+      nlen    uint32    length of the UTF-8 workload name
+      name    nlen bytes
+      rpi     float64   references per instruction
+      count   uint64    number of references
+      addrs   count * uint32
+      kinds   count * uint8
+
+* A human-readable **text format** compatible in spirit with the classic
+  ``dinero`` trace format (one ``<kind> <hex-address>`` pair per line),
+  for interchange with other simulators and for eyeballing tiny traces.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.errors import TraceFormatError
+from repro.trace.record import KIND_STORE, Trace
+
+_MAGIC = b"RPT1"
+
+#: dinero-style kind digits: 0=load, 1=store, 2=ifetch.
+_DINERO_FROM_KIND = {0: "2", 1: "0", 2: "1"}
+_KIND_FROM_DINERO = {"0": 1, "1": 2, "2": 0}
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_trace(path: PathLike, trace: Trace) -> None:
+    """Write ``trace`` to ``path`` in the binary ``.rpt`` format."""
+    name_bytes = trace.name.encode("utf-8")
+    with open(path, "wb") as stream:
+        stream.write(_MAGIC)
+        stream.write(np.uint32(len(name_bytes)).tobytes())
+        stream.write(name_bytes)
+        stream.write(np.float64(trace.refs_per_instruction).tobytes())
+        stream.write(np.uint64(len(trace)).tobytes())
+        stream.write(trace.addresses.tobytes())
+        stream.write(trace.kinds.tobytes())
+
+
+def read_trace(path: PathLike) -> Trace:
+    """Read a binary ``.rpt`` trace written by :func:`write_trace`."""
+    with open(path, "rb") as stream:
+        magic = stream.read(4)
+        if magic != _MAGIC:
+            raise TraceFormatError(f"{path}: bad magic {magic!r}")
+        name_length = _read_scalar(stream, np.uint32, path)
+        name_bytes = stream.read(name_length)
+        if len(name_bytes) != name_length:
+            raise TraceFormatError(f"{path}: truncated workload name")
+        rpi = _read_scalar(stream, np.float64, path)
+        count = _read_scalar(stream, np.uint64, path)
+        addresses = _read_array(stream, np.uint32, count, path)
+        kinds = _read_array(stream, np.uint8, count, path)
+        if stream.read(1):
+            raise TraceFormatError(f"{path}: trailing bytes after trace data")
+    return Trace(
+        addresses,
+        kinds,
+        name=name_bytes.decode("utf-8"),
+        refs_per_instruction=float(rpi),
+    )
+
+
+def write_text_trace(path: PathLike, trace: Trace) -> None:
+    """Write ``trace`` as dinero-style ``<kind> <hex-address>`` lines."""
+    with open(path, "w", encoding="ascii") as stream:
+        for address, kind in zip(trace.addresses, trace.kinds):
+            stream.write(f"{_DINERO_FROM_KIND[int(kind)]} {int(address):x}\n")
+
+
+def read_text_trace(
+    path: PathLike,
+    *,
+    name: str = None,
+    refs_per_instruction: float = 1.35,
+) -> Trace:
+    """Read a dinero-style text trace.
+
+    Blank lines and lines starting with ``#`` are ignored so traces can be
+    annotated.  ``name`` defaults to the file's stem.
+    """
+    addresses = []
+    kinds = []
+    with open(path, "r", encoding="ascii") as stream:
+        for line_number, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 2:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected '<kind> <hex-address>'"
+                )
+            kind_field, address_field = fields
+            if kind_field not in _KIND_FROM_DINERO:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: unknown kind digit {kind_field!r}"
+                )
+            try:
+                address = int(address_field, 16)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: bad hex address {address_field!r}"
+                ) from None
+            addresses.append(address)
+            kinds.append(_KIND_FROM_DINERO[kind_field])
+    return Trace(
+        np.array(addresses, dtype=np.uint32),
+        np.array(kinds, dtype=np.uint8),
+        name=name if name is not None else Path(path).stem,
+        refs_per_instruction=refs_per_instruction,
+    )
+
+
+def _read_scalar(stream, dtype, path: PathLike) -> int:
+    """Read one little-endian scalar of ``dtype`` or raise on truncation."""
+    size = np.dtype(dtype).itemsize
+    raw = stream.read(size)
+    if len(raw) != size:
+        raise TraceFormatError(f"{path}: truncated header")
+    return dtype(np.frombuffer(raw, dtype=dtype)[0]).item()
+
+
+def _read_array(stream, dtype, count: int, path: PathLike) -> np.ndarray:
+    """Read ``count`` elements of ``dtype`` or raise on truncation."""
+    size = int(count) * np.dtype(dtype).itemsize
+    raw = stream.read(size)
+    if len(raw) != size:
+        raise TraceFormatError(f"{path}: truncated reference data")
+    array = np.frombuffer(raw, dtype=dtype).copy()
+    if dtype is np.uint8 and array.size and array.max() > KIND_STORE:
+        raise TraceFormatError(f"{path}: kind array contains invalid codes")
+    return array
+
+
+__all__ = [
+    "read_trace",
+    "write_trace",
+    "read_text_trace",
+    "write_text_trace",
+]

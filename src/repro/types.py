@@ -1,0 +1,165 @@
+"""Shared primitive types and constants.
+
+The paper studies a SPARC-like machine with byte-addressed 32-bit virtual
+addresses and power-of-two, self-aligned pages.  This module centralises
+those conventions: page-size constants, power-of-two helpers, and the
+:class:`PageSizePair` describing a two-page-size configuration (the paper's
+running example is 4KB small pages inside 32KB chunks).
+
+All addresses in this library are plain Python ``int`` (or numpy integer
+arrays in the hot paths); there is deliberately no wrapper class around an
+address, per the "explicit is better than implicit" rule — a wrapper would
+add per-reference overhead in simulation inner loops for no clarity gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PageSizeError
+
+#: One kibibyte, in bytes.
+KB = 1024
+
+#: One mebibyte, in bytes.
+MB = 1024 * KB
+
+#: The paper's baseline (small) page size.
+PAGE_4KB = 4 * KB
+
+#: Alternative single page sizes studied in Figures 4.1 / 4.2 / 5.x.
+PAGE_8KB = 8 * KB
+PAGE_16KB = 16 * KB
+PAGE_32KB = 32 * KB
+PAGE_64KB = 64 * KB
+
+#: Page sizes that appear anywhere in the paper's evaluation.
+SINGLE_PAGE_SIZES = (PAGE_4KB, PAGE_8KB, PAGE_16KB, PAGE_32KB, PAGE_64KB)
+
+#: Width of the simulated virtual address space, in bits (SPARC V8).
+VIRTUAL_ADDRESS_BITS = 32
+
+#: One past the largest representable virtual address.
+VIRTUAL_ADDRESS_LIMIT = 1 << VIRTUAL_ADDRESS_BITS
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if ``value`` is a positive integral power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def log2_exact(value: int) -> int:
+    """Return ``log2(value)`` for an exact power of two.
+
+    Raises :class:`PageSizeError` if ``value`` is not a power of two,
+    because every caller in this library is validating a page or set count.
+    """
+    if not is_power_of_two(value):
+        raise PageSizeError(f"{value} is not a power of two")
+    return value.bit_length() - 1
+
+
+def validate_page_size(page_size: int) -> int:
+    """Validate a single page size and return it unchanged.
+
+    A page size must be a power of two and at least 512 bytes (no real
+    architecture in the paper's survey goes below 512B; this also guards
+    against accidentally passing a page *count*).
+    """
+    if not is_power_of_two(page_size):
+        raise PageSizeError(f"page size {page_size} is not a power of two")
+    if page_size < 512:
+        raise PageSizeError(f"page size {page_size} is implausibly small")
+    if page_size >= VIRTUAL_ADDRESS_LIMIT:
+        raise PageSizeError(
+            f"page size {page_size} does not fit the "
+            f"{VIRTUAL_ADDRESS_BITS}-bit address space"
+        )
+    return page_size
+
+
+@dataclass(frozen=True)
+class PageSizePair:
+    """A two-page-size configuration: a small page inside a large "chunk".
+
+    The paper (Section 3.4) views the address space as aligned chunks of the
+    large page size; each chunk is mapped either as one large page or as
+    ``blocks_per_chunk`` small pages.  Both sizes must be powers of two and
+    the large size a multiple of the small size, so physical addresses can
+    be formed by concatenation (Section 1).
+
+    Attributes:
+        small: the small page size in bytes (paper: 4KB).
+        large: the large page size in bytes (paper: 32KB; also 16KB, 64KB).
+    """
+
+    small: int
+    large: int
+
+    def __post_init__(self) -> None:
+        validate_page_size(self.small)
+        validate_page_size(self.large)
+        if self.large <= self.small:
+            raise PageSizeError(
+                f"large page ({self.large}) must exceed small page ({self.small})"
+            )
+        # Powers of two with large > small always divide evenly, but keep the
+        # check explicit so the invariant is stated where it matters.
+        if self.large % self.small != 0:
+            raise PageSizeError(
+                f"large page ({self.large}) must be a multiple of the "
+                f"small page ({self.small})"
+            )
+
+    @property
+    def blocks_per_chunk(self) -> int:
+        """Number of small-page blocks in one large-page chunk (paper: 8)."""
+        return self.large // self.small
+
+    @property
+    def small_shift(self) -> int:
+        """log2 of the small page size (bit position of the small VPN)."""
+        return log2_exact(self.small)
+
+    @property
+    def large_shift(self) -> int:
+        """log2 of the large page size (bit position of the large VPN)."""
+        return log2_exact(self.large)
+
+    def chunk_of(self, address: int) -> int:
+        """Return the chunk number (large-page number) containing ``address``."""
+        return address >> self.large_shift
+
+    def block_of(self, address: int) -> int:
+        """Return the global small-page (block) number containing ``address``."""
+        return address >> self.small_shift
+
+    def block_within_chunk(self, address: int) -> int:
+        """Return the index (0..blocks_per_chunk-1) of the block inside its chunk."""
+        return (address >> self.small_shift) & (self.blocks_per_chunk - 1)
+
+    def __str__(self) -> str:
+        return f"{self.small // KB}KB/{self.large // KB}KB"
+
+
+#: The paper's primary two-page-size configuration.
+PAIR_4KB_32KB = PageSizePair(PAGE_4KB, PAGE_32KB)
+
+#: The alternative pairs the paper mentions collecting data for (Section 3.2).
+PAIR_4KB_16KB = PageSizePair(PAGE_4KB, PAGE_16KB)
+PAIR_4KB_64KB = PageSizePair(PAGE_4KB, PAGE_64KB)
+
+
+def format_size(num_bytes: float) -> str:
+    """Format a byte count the way the paper does (e.g. ``"32KB"``, ``"1.5MB"``).
+
+    Values below 1MB are shown in KB, others in MB; fractional parts are
+    kept to one decimal and dropped when integral.
+    """
+    if num_bytes >= MB:
+        value, unit = num_bytes / MB, "MB"
+    else:
+        value, unit = num_bytes / KB, "KB"
+    if value == int(value):
+        return f"{int(value)}{unit}"
+    return f"{value:.1f}{unit}"

@@ -1,0 +1,451 @@
+"""Composable, stateful access-pattern streams.
+
+Each stream produces virtual addresses with one archetypal locality
+structure — the building blocks from which the twelve program models are
+assembled.  Streams are *stateful*: successive :meth:`~Stream.take`
+calls continue where the previous batch stopped, so interleaving several
+streams models a program whose loops progress concurrently.
+
+All streams generate vectorised numpy batches; the per-reference cost of
+trace generation is a few nanoseconds, which keeps million-reference
+experiments cheap.
+
+The catalogue (pattern -> programs it models):
+
+* :class:`SequentialSweep` — row-major array scans (matrix300's A/C,
+  eqntott's bit vectors).
+* :class:`StridedSweep` — column-major scans touching a new page every
+  couple of references (matrix300's B operand).
+* :class:`LockstepSweep` — several arrays swept at one shared index
+  (tomcatv's vectorised mesh arrays); the source of the paper's
+  set-conflict anomaly.
+* :class:`HotSpot` — uniform references within a small resident region
+  (interpreter cores, device-driver state).
+* :class:`SparseHot` — a Zipf-weighted set of hot *blocks scattered one
+  per chunk*, the access shape that starves the promotion policy
+  (espresso, worm).
+* :class:`DenseZipf` — Zipf-weighted pages packed contiguously, the
+  promotable counterpart (caches, symbol tables).
+* :class:`PointerChase` — a random walk with geometric jump lengths
+  (lisp heaps, event queues).
+* :class:`SequentialRuns` — short sequential bursts at random starting
+  pages (instruction fetch with taken branches).
+* :class:`PhaseAlternator` — switches among sub-streams every N
+  references (nasa7's seven kernels).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.regions import Region
+
+
+class Stream(ABC):
+    """A stateful source of virtual-address batches."""
+
+    @abstractmethod
+    def take(self, count: int) -> np.ndarray:
+        """Return the next ``count`` addresses as a uint32 array."""
+
+
+def _check_count(count: int) -> None:
+    if count < 0:
+        raise WorkloadError(f"cannot take a negative count: {count}")
+
+
+class SequentialSweep(Stream):
+    """Wraps repeatedly through a region at a fixed small stride.
+
+    Models unit-stride array scans: spatially dense, so every page of the
+    region is touched and reused ``page_size / stride`` times per pass.
+    """
+
+    def __init__(self, region: Region, stride: int = 8) -> None:
+        if stride <= 0:
+            raise WorkloadError(f"stride must be positive, got {stride}")
+        self.region = region
+        self.stride = stride
+        self._offset = 0
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        offsets = (
+            self._offset + self.stride * np.arange(count, dtype=np.int64)
+        ) % self.region.size
+        self._offset = int(
+            (self._offset + self.stride * count) % self.region.size
+        )
+        return (self.region.base + offsets).astype(np.uint32)
+
+
+class StridedSweep(Stream):
+    """Column-major style sweep: large stride, wrapping with a skew.
+
+    Each wrap advances the starting offset by ``element`` bytes so that
+    successive "columns" are distinct, exactly like walking a row-major
+    matrix by columns.  With ``stride`` of a few KB the stream touches a
+    new small page every reference or two — the TLB killer the paper's
+    matrix workloads exhibit.
+    """
+
+    def __init__(self, region: Region, stride: int, element: int = 8) -> None:
+        if stride <= 0 or element <= 0:
+            raise WorkloadError("stride and element must be positive")
+        if stride > region.size:
+            raise WorkloadError("stride exceeds region size")
+        self.region = region
+        self.stride = stride
+        self.element = element
+        self._rows = region.size // stride
+        self._columns = max(1, stride // element)
+        self._taken = 0
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        positions = self._taken + np.arange(count, dtype=np.int64)
+        row = positions % self._rows
+        column = (positions // self._rows) % self._columns
+        offsets = row * self.stride + column * self.element
+        self._taken += count
+        return (self.region.base + offsets).astype(np.uint32)
+
+
+class LockstepSweep(Stream):
+    """Several regions swept with one shared index, round-robin.
+
+    Models vectorised loops ``for i: a[i] = f(b[i], c[i], ...)``: each
+    reference visits the next region at the current index, and the index
+    advances after the last region.  When the regions' base addresses are
+    congruent modulo ``sets * page_size``, all concurrently live pages
+    collide in one TLB set — the tomcatv anomaly (Section 5.2).
+    """
+
+    def __init__(self, regions: Sequence[Region], element: int = 8) -> None:
+        if not regions:
+            raise WorkloadError("LockstepSweep needs at least one region")
+        if element <= 0:
+            raise WorkloadError("element must be positive")
+        sweep_length = min(region.size for region in regions)
+        self.regions = list(regions)
+        self.element = element
+        self._sweep_elements = sweep_length // element
+        if self._sweep_elements == 0:
+            raise WorkloadError("regions too small for one element")
+        self._position = 0  # element index * len(regions) + region index
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        k = len(self.regions)
+        positions = self._position + np.arange(count, dtype=np.int64)
+        element_index = (positions // k) % self._sweep_elements
+        region_index = positions % k
+        bases = np.array([r.base for r in self.regions], dtype=np.int64)
+        addresses = bases[region_index] + element_index * self.element
+        self._position += count
+        return addresses.astype(np.uint32)
+
+
+def _repeat_bursts(
+    bases: np.ndarray,
+    count: int,
+    burst: int,
+    span: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Expand sampled base addresses into bursts of nearby references.
+
+    Real programs touch a sampled location many times in a row (a record
+    is read field by field, a node is processed before moving on), so
+    each draw becomes ``burst`` consecutive references jittered within
+    ``span`` bytes of the base.  Burstiness divides a stream's TLB miss
+    rate by roughly ``burst`` without changing which pages are warm —
+    the knob that separates footprint (working set) from miss rate.
+    """
+    repeated = np.repeat(bases, burst)[:count]
+    if span > 4:
+        jitter = rng.integers(0, span // 4, size=repeated.size) * 4
+        repeated = repeated + jitter
+    return repeated
+
+
+class HotSpot(Stream):
+    """Uniform random references within one region.
+
+    A region a few pages long models tight temporal locality (an
+    interpreter's dispatch loop, a device driver's state block).
+    """
+
+    def __init__(self, region: Region, rng: np.random.Generator,
+                 alignment: int = 4, burst: int = 1) -> None:
+        if alignment <= 0:
+            raise WorkloadError("alignment must be positive")
+        if burst <= 0:
+            raise WorkloadError("burst must be positive")
+        self.region = region
+        self.alignment = alignment
+        self.burst = burst
+        self._rng = rng
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        draws = -(-count // self.burst)
+        slots = max(1, self.region.size // self.alignment)
+        offsets = self._rng.integers(0, slots, size=draws) * self.alignment
+        bases = (self.region.base + offsets).astype(np.int64)
+        repeated = np.repeat(bases, self.burst)[:count]
+        return repeated.astype(np.uint32)
+
+
+def _zipf_weights(ranks: int, alpha: float) -> np.ndarray:
+    weights = 1.0 / np.power(np.arange(1, ranks + 1, dtype=np.float64), alpha)
+    return weights / weights.sum()
+
+
+class SparseHot(Stream):
+    """Zipf-popular blocks scattered few-per-chunk: promotion-hostile.
+
+    Hot blocks are spread over chunks with only ``chunk_fill`` warm
+    blocks each (at pseudo-random slots), always below the paper's
+    promote-at-half threshold, so the policy never fires.  Programs
+    shaped like this pay the two-page-size miss penalty increase and get
+    nothing back — the espresso/worm behaviour.  ``chunk_fill`` also
+    sets the single-large-page working-set inflation: a chunk holding
+    ``f`` warm 4KB blocks costs ``8/f``x more as one 32KB page.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        rng: np.random.Generator,
+        *,
+        hot_blocks: int,
+        alpha: float = 1.0,
+        chunk_fill: int = 2,
+        burst: int = 1,
+        block_size: int = 4096,
+        blocks_per_chunk: int = 8,
+    ) -> None:
+        if hot_blocks <= 0:
+            raise WorkloadError("hot_blocks must be positive")
+        if burst <= 0:
+            raise WorkloadError("burst must be positive")
+        if not 1 <= chunk_fill < (blocks_per_chunk + 1) // 2:
+            raise WorkloadError(
+                f"chunk_fill {chunk_fill} must stay below the promotion "
+                f"threshold ({(blocks_per_chunk + 1) // 2} of "
+                f"{blocks_per_chunk} blocks)"
+            )
+        chunks_needed = -(-hot_blocks // chunk_fill)  # ceil division
+        chunk_span = block_size * blocks_per_chunk
+        # Align the placement grid to *physical* chunk boundaries: blocks
+        # placed relative to an unaligned region base would straddle two
+        # real chunks, letting adjacent logical chunks' blocks pile into
+        # one physical chunk and accidentally cross the promote threshold.
+        first_chunk_base = -(-region.base // chunk_span) * chunk_span
+        chunks_available = max(0, (region.end - first_chunk_base) // chunk_span)
+        if chunks_needed > chunks_available:
+            raise WorkloadError(
+                f"{hot_blocks} hot blocks at {chunk_fill}/chunk need "
+                f"{chunks_needed} chunks; region {region} only holds "
+                f"{chunks_available} aligned chunks"
+            )
+        self.region = region
+        self._rng = rng
+        chunk_index = np.arange(hot_blocks, dtype=np.int64) // chunk_fill
+        slot_sets = [
+            rng.choice(blocks_per_chunk, size=chunk_fill, replace=False)
+            for _ in range(chunks_needed)
+        ]
+        slots = np.array(
+            [
+                slot_sets[rank // chunk_fill][rank % chunk_fill]
+                for rank in range(hot_blocks)
+            ],
+            dtype=np.int64,
+        )
+        self._block_bases = (
+            first_chunk_base + chunk_index * chunk_span + slots * block_size
+        )
+        self._weights = _zipf_weights(hot_blocks, alpha)
+        self._block_size = block_size
+        self.burst = burst
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        draws = -(-count // self.burst)
+        ranks = self._rng.choice(
+            self._block_bases.size, size=draws, p=self._weights
+        )
+        bursts = _repeat_bursts(
+            self._block_bases[ranks], count, self.burst, self._block_size,
+            self._rng,
+        )
+        return bursts.astype(np.uint32)
+
+
+class DenseZipf(Stream):
+    """Zipf-popular pages packed contiguously: promotion-friendly.
+
+    The mirror image of :class:`SparseHot`: popular pages sit next to
+    each other, so the hot prefix of the region fills whole chunks and
+    promotes readily.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        rng: np.random.Generator,
+        *,
+        hot_pages: int,
+        alpha: float = 1.0,
+        burst: int = 1,
+        page_size: int = 4096,
+    ) -> None:
+        if hot_pages <= 0:
+            raise WorkloadError("hot_pages must be positive")
+        if burst <= 0:
+            raise WorkloadError("burst must be positive")
+        if hot_pages * page_size > region.size:
+            raise WorkloadError("hot pages exceed region size")
+        self.region = region
+        self._rng = rng
+        self._weights = _zipf_weights(hot_pages, alpha)
+        self._page_size = page_size
+        self._hot_pages = hot_pages
+        self.burst = burst
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        draws = -(-count // self.burst)
+        pages = self._rng.choice(self._hot_pages, size=draws, p=self._weights)
+        bases = self.region.base + pages.astype(np.int64) * self._page_size
+        bursts = _repeat_bursts(
+            bases, count, self.burst, self._page_size, self._rng
+        )
+        return bursts.astype(np.uint32)
+
+
+class PointerChase(Stream):
+    """Random walk with geometric jump lengths inside a region.
+
+    Models traversals of linked structures allocated over time: mostly
+    short hops (allocation locality) with occasional long jumps to old
+    data.  ``mean_jump`` controls sparseness; walks wrap at the region
+    boundary.
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        rng: np.random.Generator,
+        *,
+        mean_jump: int = 256,
+        alignment: int = 8,
+    ) -> None:
+        if mean_jump <= 0:
+            raise WorkloadError("mean_jump must be positive")
+        self.region = region
+        self.alignment = alignment
+        self._rng = rng
+        self._mean_jump = mean_jump
+        self._position = 0
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        jumps = self._rng.geometric(1.0 / self._mean_jump, size=count)
+        signs = self._rng.choice((-1, 1), size=count)
+        steps = jumps * signs * self.alignment
+        positions = (self._position + np.cumsum(steps)) % self.region.size
+        self._position = int(positions[-1]) if count else self._position
+        return (self.region.base + positions).astype(np.uint32)
+
+
+class SequentialRuns(Stream):
+    """Sequential bursts at random start pages: instruction fetch.
+
+    Fetch proceeds word by word for ``run_length`` references, then
+    branches to a random page of the code region (Zipf-weighted, so a
+    hot inner loop dominates).
+    """
+
+    def __init__(
+        self,
+        region: Region,
+        rng: np.random.Generator,
+        *,
+        run_length: int = 16,
+        alpha: float = 1.2,
+        page_size: int = 4096,
+    ) -> None:
+        if run_length <= 0:
+            raise WorkloadError("run_length must be positive")
+        pages = region.size // page_size
+        if pages == 0:
+            raise WorkloadError("code region smaller than one page")
+        self.region = region
+        self._rng = rng
+        self._run_length = run_length
+        self._page_size = page_size
+        self._weights = _zipf_weights(pages, alpha)
+        self._pages = pages
+        self._position = region.base
+        self._left_in_run = run_length
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        addresses = np.empty(count, dtype=np.uint32)
+        produced = 0
+        while produced < count:
+            if self._left_in_run == 0:
+                page = int(self._rng.choice(self._pages, p=self._weights))
+                offset = int(self._rng.integers(0, self._page_size // 4)) * 4
+                self._position = self.region.base + page * self._page_size + offset
+                self._left_in_run = self._run_length
+            burst = min(count - produced, self._left_in_run)
+            run = self._position + 4 * np.arange(burst, dtype=np.int64)
+            # Stay inside the region even if a run crosses its end.
+            run = self.region.base + (run - self.region.base) % self.region.size
+            addresses[produced : produced + burst] = run.astype(np.uint32)
+            self._position = int(run[-1]) + 4
+            self._left_in_run -= burst
+            produced += burst
+        return addresses
+
+
+class PhaseAlternator(Stream):
+    """Cycles through sub-streams, one per execution phase.
+
+    Models multi-kernel programs (nasa7): references come from stream 0
+    for ``phase_length`` references, then stream 1, and so on, wrapping.
+    """
+
+    def __init__(self, streams: Sequence[Stream], phase_length: int) -> None:
+        if not streams:
+            raise WorkloadError("PhaseAlternator needs at least one stream")
+        if phase_length <= 0:
+            raise WorkloadError("phase_length must be positive")
+        self.streams = list(streams)
+        self.phase_length = phase_length
+        self._current = 0
+        self._left_in_phase = phase_length
+
+    def take(self, count: int) -> np.ndarray:
+        _check_count(count)
+        parts: List[np.ndarray] = []
+        remaining = count
+        while remaining > 0:
+            burst = min(remaining, self._left_in_phase)
+            parts.append(self.streams[self._current].take(burst))
+            self._left_in_phase -= burst
+            remaining -= burst
+            if self._left_in_phase == 0:
+                self._current = (self._current + 1) % len(self.streams)
+                self._left_in_phase = self.phase_length
+        if not parts:
+            return np.empty(0, dtype=np.uint32)
+        return np.concatenate(parts)

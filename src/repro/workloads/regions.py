@@ -1,0 +1,69 @@
+"""Virtual-address regions used to lay out synthetic programs.
+
+A :class:`Region` is a contiguous span of the 32-bit virtual address
+space standing in for a program segment — code, a matrix, a heap arena,
+a stack.  Workload models compose access patterns over regions laid out
+the way the original programs laid out their memory (code low, data
+above it, far-apart mmapped arenas), because TLB-set behaviour depends
+on the *addresses*, not just the footprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.types import KB, MB, VIRTUAL_ADDRESS_LIMIT
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous virtual-address range ``[base, base + size)``."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise WorkloadError(f"region size must be positive, got {self.size}")
+        if self.base < 0:
+            raise WorkloadError(f"region base must be non-negative: {self.base}")
+        if self.base + self.size > VIRTUAL_ADDRESS_LIMIT:
+            raise WorkloadError(
+                f"region [{self.base:#x}, +{self.size:#x}) exceeds the "
+                f"32-bit address space"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last byte of the region."""
+        return self.base + self.size
+
+    def contains(self, address: int) -> bool:
+        """Return True if ``address`` lies inside the region."""
+        return self.base <= address < self.end
+
+    def sub(self, offset: int, size: int) -> "Region":
+        """Carve out a sub-region at ``offset`` bytes into this one."""
+        if offset < 0 or offset + size > self.size:
+            raise WorkloadError(
+                f"sub-region (+{offset:#x}, {size:#x}) escapes {self}"
+            )
+        return Region(self.base + offset, size)
+
+    def __str__(self) -> str:
+        return f"[{self.base:#x}, {self.end:#x})"
+
+
+def staggered_base(megabytes: int, slot: int) -> int:
+    """A region base at ``megabytes`` MB, offset into TLB set ``slot``.
+
+    Naively placing every program segment on a megabyte boundary puts
+    each segment's first 4KB page *and* first 32KB chunk into TLB set 0
+    of a typical set-associative TLB — a layout pathology no real
+    linker/allocator produces, because segments follow one another at
+    odd offsets.  Offsetting by ``slot`` x 36KB (one chunk plus one
+    block) rotates both the block-level and the chunk-level set index by
+    ``slot``, so different segments' hottest pages spread across sets.
+    """
+    return megabytes * MB + (slot % 8) * 36 * KB

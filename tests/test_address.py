@@ -1,0 +1,108 @@
+"""Tests for repro.mem.address: page arithmetic and translation."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PageSizeError
+from repro.mem.address import (
+    align_down,
+    align_up,
+    is_aligned,
+    page_base,
+    page_number,
+    page_numbers_array,
+    page_offset,
+    page_span,
+    translate,
+)
+from repro.types import PAGE_4KB, PAGE_32KB
+
+addresses = st.integers(min_value=0, max_value=2**32 - 1)
+page_sizes = st.sampled_from([512, 4096, 8192, 32768, 65536])
+
+
+class TestPageDecomposition:
+    def test_page_number_and_offset(self):
+        assert page_number(0x12345, PAGE_4KB) == 0x12
+        assert page_offset(0x12345, PAGE_4KB) == 0x345
+        assert page_base(0x12345, PAGE_4KB) == 0x12000
+
+    @given(addresses, page_sizes)
+    def test_decomposition_reconstructs_address(self, address, page_size):
+        reconstructed = (
+            page_number(address, page_size) * page_size
+            + page_offset(address, page_size)
+        )
+        assert reconstructed == address
+
+    @given(addresses, page_sizes)
+    def test_page_base_is_aligned(self, address, page_size):
+        assert is_aligned(page_base(address, page_size), page_size)
+
+
+class TestAlignment:
+    def test_align_down_up(self):
+        assert align_down(0x12345, PAGE_4KB) == 0x12000
+        assert align_up(0x12345, PAGE_4KB) == 0x13000
+        assert align_up(0x12000, PAGE_4KB) == 0x12000
+
+    @given(addresses, page_sizes)
+    def test_align_bracket(self, address, page_size):
+        down = align_down(address, page_size)
+        up = align_up(address, page_size)
+        assert down <= address <= up
+        assert up - down in (0, page_size)
+
+    def test_alignment_requires_power_of_two(self):
+        with pytest.raises(PageSizeError):
+            is_aligned(0, 3000)
+
+
+class TestTranslate:
+    def test_concatenation(self):
+        physical = translate(0x12345, 0xABC000, PAGE_4KB)
+        assert physical == 0xABC345
+
+    def test_large_page_translation(self):
+        virtual = 5 * PAGE_32KB + 0x1234
+        physical = translate(virtual, 9 * PAGE_32KB, PAGE_32KB)
+        assert physical == 9 * PAGE_32KB + 0x1234
+
+    def test_unaligned_frame_rejected(self):
+        with pytest.raises(PageSizeError):
+            translate(0x12345, 0xABC123, PAGE_4KB)
+
+    @given(addresses)
+    def test_translation_preserves_offset(self, virtual):
+        physical = translate(virtual, 7 * PAGE_4KB, PAGE_4KB)
+        assert page_offset(physical, PAGE_4KB) == page_offset(virtual, PAGE_4KB)
+
+
+class TestVectorised:
+    def test_page_numbers_array_matches_scalar(self):
+        raw = np.array([0, 1, 4095, 4096, 0xFFFFFFFF], dtype=np.uint32)
+        vector = page_numbers_array(raw, PAGE_4KB)
+        scalar = [page_number(int(a), PAGE_4KB) for a in raw]
+        assert vector.tolist() == scalar
+
+
+class TestPageSpan:
+    def test_single_page(self):
+        assert list(page_span(0x1000, 1, PAGE_4KB)) == [1]
+
+    def test_straddling_region(self):
+        assert list(page_span(0xFFF, 2, PAGE_4KB)) == [0, 1]
+
+    def test_exact_pages(self):
+        assert list(page_span(0, 3 * PAGE_4KB, PAGE_4KB)) == [0, 1, 2]
+
+    def test_empty_region(self):
+        assert list(page_span(0x1000, 0, PAGE_4KB)) == []
+
+    @given(addresses, st.integers(min_value=1, max_value=1 << 20), page_sizes)
+    def test_span_covers_endpoints(self, start, length, page_size):
+        span = page_span(start, length, page_size)
+        assert span[0] == page_number(start, page_size)
+        assert span[-1] == page_number(start + length - 1, page_size)

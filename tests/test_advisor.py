@@ -1,0 +1,81 @@
+"""Tests for the page-size advisor."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    RECOMMEND_BASELINE,
+    RECOMMEND_TWO_SIZES,
+    advise,
+)
+from repro.workloads import generate_trace
+
+LENGTH = 80_000
+WINDOW = 10_000
+
+
+@pytest.fixture(scope="module")
+def matrix_report():
+    trace = generate_trace("matrix300", LENGTH, seed=0)
+    return advise(trace, window=WINDOW)
+
+
+@pytest.fixture(scope="module")
+def espresso_report():
+    trace = generate_trace("espresso", LENGTH, seed=0)
+    return advise(trace, window=WINDOW)
+
+
+class TestVerdicts:
+    def test_matrix300_gets_large_pages_in_some_form(self, matrix_report):
+        # matrix300 is the flagship beneficiary; the advisor must not
+        # recommend staying at 4KB.
+        assert matrix_report.verdict != RECOMMEND_BASELINE
+        assert matrix_report.promotions > 0
+        assert matrix_report.promoted_share > 0.5
+
+    def test_espresso_stays_at_baseline(self, espresso_report):
+        assert espresso_report.verdict == RECOMMEND_BASELINE
+        assert espresso_report.promotions == 0
+        assert any(
+            "never fires" in reason for reason in espresso_report.reasons
+        )
+
+    def test_reasons_are_present(self, matrix_report, espresso_report):
+        assert matrix_report.reasons
+        assert espresso_report.reasons
+
+
+class TestReportContents:
+    def test_inflation_fields(self, matrix_report):
+        assert matrix_report.ws_inflation["32KB"] >= 1.0
+        assert (
+            matrix_report.ws_inflation["4KB/32KB"]
+            <= matrix_report.ws_inflation["32KB"] + 1e-9
+        )
+
+    def test_critical_penalty_positive_for_winner(self, matrix_report):
+        assert (
+            math.isinf(matrix_report.critical_penalty_percent)
+            or matrix_report.critical_penalty_percent > 0
+        )
+
+    def test_reference_capacity_included(self, matrix_report):
+        assert (
+            matrix_report.reference_entries
+            in matrix_report.crossover.capacities
+        )
+
+    def test_render_mentions_verdict(self, matrix_report):
+        text = matrix_report.render()
+        assert "verdict:" in text
+        assert matrix_report.workload in text
+
+    def test_custom_reference_entries(self):
+        trace = generate_trace("li", 40_000, seed=0)
+        report = advise(
+            trace, window=5_000, reference_entries=8, capacities=(8, 32)
+        )
+        assert report.reference_entries == 8
+        assert 8 in report.crossover.capacities

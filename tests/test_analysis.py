@@ -1,0 +1,124 @@
+"""Tests for the sizing and crossover analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    entries_required,
+    miss_ratio_curve,
+    reach_equivalent_entries,
+    scheme_ranking,
+    two_size_crossover,
+    working_set_entries,
+)
+from repro.errors import ConfigurationError
+from repro.trace import Trace
+from repro.types import PAGE_4KB, PAGE_32KB
+from repro.workloads import generate_trace
+
+
+def looping_trace(pages, repeats=200):
+    addresses = np.tile(
+        np.arange(pages, dtype=np.uint32) * PAGE_4KB, repeats
+    )
+    return Trace(addresses, name="loop", refs_per_instruction=1.25)
+
+
+class TestEntriesRequired:
+    def test_loop_needs_exactly_its_footprint(self):
+        # A cyclic loop over 10 pages thrashes any LRU TLB smaller than
+        # 10 entries and becomes near-perfect at 10.
+        trace = looping_trace(10)
+        result = entries_required(trace, PAGE_4KB, target_miss_ratio=0.01)
+        assert result.entries == 10
+        assert result.achieved_miss_ratio < 0.01
+        assert result.reach == "40KB"
+
+    def test_unreachable_target(self):
+        rng = np.random.default_rng(3)
+        trace = Trace(
+            (rng.integers(0, 4000, size=20_000) * PAGE_4KB).astype(np.uint32)
+        )
+        result = entries_required(
+            trace, PAGE_4KB, target_miss_ratio=0.001, max_entries=16
+        )
+        assert result.entries is None
+        assert result.reach is None
+        assert result.achieved_miss_ratio > 0.001
+
+    def test_larger_pages_need_fewer_entries(self):
+        trace = generate_trace("x11perf", 50_000, seed=0)
+        small = entries_required(trace, PAGE_4KB, 0.01)
+        large = entries_required(trace, PAGE_32KB, 0.01)
+        if small.entries is not None and large.entries is not None:
+            assert large.entries <= small.entries
+
+    def test_invalid_arguments(self):
+        trace = looping_trace(4)
+        with pytest.raises(ConfigurationError):
+            entries_required(trace, PAGE_4KB, 0.0)
+        with pytest.raises(ConfigurationError):
+            entries_required(trace, PAGE_4KB, 0.5, max_entries=0)
+
+
+class TestMissRatioCurve:
+    def test_monotone_non_increasing(self):
+        trace = generate_trace("li", 40_000, seed=0)
+        curve = miss_ratio_curve(trace, PAGE_4KB, [1, 2, 4, 8, 16, 32])
+        values = [curve[c] for c in (1, 2, 4, 8, 16, 32)]
+        assert values == sorted(values, reverse=True)
+
+    def test_empty_capacities_rejected(self):
+        with pytest.raises(ConfigurationError):
+            miss_ratio_curve(looping_trace(4), PAGE_4KB, [])
+
+
+class TestReachArithmetic:
+    def test_paper_example(self):
+        # A 16-entry 4KB TLB's reach equals a 2-entry 32KB TLB's.
+        assert reach_equivalent_entries(16, PAGE_4KB, PAGE_32KB) == 2
+
+    def test_never_below_one(self):
+        assert reach_equivalent_entries(1, PAGE_4KB, PAGE_32KB) == 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            reach_equivalent_entries(0, PAGE_4KB, PAGE_32KB)
+
+
+class TestWorkingSetEntries:
+    def test_loop_working_set(self):
+        trace = looping_trace(10)
+        entries = working_set_entries(trace, PAGE_4KB, window=100)
+        assert 9.0 <= entries <= 10.0
+
+
+class TestCrossover:
+    @pytest.fixture(scope="class")
+    def matrix_result(self):
+        trace = generate_trace("matrix300", 60_000, seed=0)
+        return two_size_crossover(trace, window=8_000, capacities=(4, 8, 16, 32))
+
+    def test_all_schemes_swept(self, matrix_result):
+        assert set(matrix_result.cpi) == {"4KB", "8KB", "32KB", "4KB/32KB"}
+        for per_capacity in matrix_result.cpi.values():
+            assert set(per_capacity) == {4, 8, 16, 32}
+
+    def test_matrix300_two_size_wins_somewhere(self, matrix_result):
+        assert matrix_result.two_size_wins_at()
+
+    def test_winner_consistent_with_advantage(self, matrix_result):
+        for capacity in matrix_result.capacities:
+            if matrix_result.winner(capacity) == "4KB/32KB":
+                assert matrix_result.advantage(capacity) > 0
+
+    def test_ranking_orders_by_cpi(self, matrix_result):
+        ranking = scheme_ranking(matrix_result)
+        for capacity, order in ranking.items():
+            values = [matrix_result.cpi[s][capacity] for s in order]
+            assert values == sorted(values)
+
+    def test_empty_capacities_rejected(self):
+        trace = looping_trace(4)
+        with pytest.raises(ConfigurationError):
+            two_size_crossover(trace, window=10, capacities=())

@@ -1,0 +1,121 @@
+"""Tests for the bar-chart and CSV figure output."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments import run_fig51, run_fig52, smoke_scale
+from repro.report import GroupedBarChart, series_csv
+
+
+class TestGroupedBarChart:
+    def test_basic_rendering(self):
+        chart = GroupedBarChart(["4KB", "32KB"], width=20, title="Demo")
+        chart.add_group("li", {"4KB": 0.4, "32KB": 0.1})
+        chart.add_group("worm", {"4KB": 0.3, "32KB": 0.2})
+        text = chart.render()
+        assert text.startswith("Demo")
+        assert "li" in text and "worm" in text
+        assert "0.400" in text and "0.100" in text
+
+    def test_bars_scale_to_global_peak(self):
+        chart = GroupedBarChart(["a"], width=20)
+        chart.add_group("big", {"a": 10.0})
+        chart.add_group("small", {"a": 5.0})
+        lines = chart.render().splitlines()
+        big_bar = lines[1].count("█")
+        small_bar = lines[3].count("█")
+        assert big_bar == 20
+        assert small_bar == 10
+
+    def test_zero_value_gets_a_tip_mark(self):
+        chart = GroupedBarChart(["a"], width=20)
+        chart.add_group("g", {"a": 0.0})
+        assert "▏" in chart.render()
+
+    def test_missing_series_rejected(self):
+        chart = GroupedBarChart(["a", "b"])
+        with pytest.raises(ReproError):
+            chart.add_group("g", {"a": 1.0})
+
+    def test_negative_value_rejected(self):
+        chart = GroupedBarChart(["a"])
+        with pytest.raises(ReproError):
+            chart.add_group("g", {"a": -1.0})
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ReproError):
+            GroupedBarChart([])
+        with pytest.raises(ReproError):
+            GroupedBarChart(["a"]).render()
+        with pytest.raises(ReproError):
+            GroupedBarChart(["a"], width=2)
+
+
+class TestSeriesCsv:
+    def test_round_trip_structure(self):
+        csv = series_csv(
+            ["li", "worm"],
+            {"4KB": {"li": 0.4, "worm": 0.3}, "32KB": {"li": 0.1, "worm": 0.2}},
+        )
+        lines = csv.splitlines()
+        assert lines[0] == "program,4KB,32KB"
+        assert lines[1].startswith("li,0.4")
+        assert lines[2].startswith("worm,0.3")
+
+    def test_missing_cell_rejected(self):
+        with pytest.raises(ReproError):
+            series_csv(["li"], {"4KB": {}})
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(ReproError):
+            series_csv(["li"], {})
+
+
+class TestFigureIntegration:
+    @pytest.fixture(scope="class")
+    def fig51(self):
+        return run_fig51(smoke_scale(trace_length=30_000, window=4_000))
+
+    def test_fig51_chart_has_all_programs(self, fig51):
+        chart = fig51.render_chart()
+        for name in fig51.workloads():
+            assert name in chart
+
+    def test_fig51_csv_parses(self, fig51):
+        lines = fig51.to_csv().splitlines()
+        assert lines[0].split(",") == [
+            "program", "4KB", "8KB", "32KB", "4KB/32KB",
+        ]
+        assert len(lines) == 13  # header + 12 programs
+        for line in lines[1:]:
+            cells = line.split(",")
+            assert len(cells) == 5
+            for cell in cells[1:]:
+                assert float(cell) >= 0.0
+
+    def test_fig52_chart_and_csv(self):
+        result = run_fig52(smoke_scale(trace_length=30_000, window=4_000))
+        chart = result.render_chart()
+        assert "16e-2way-exact" in chart and "32e-2way-exact" in chart
+        csv = result.to_csv()
+        assert "16e-4KB/32KB" in csv.splitlines()[0]
+
+
+class TestWorkingSetCsvExports:
+    def test_fig41_csv(self):
+        from repro.experiments import run_fig41, smoke_scale
+
+        result = run_fig41(smoke_scale(trace_length=30_000, window=4_000))
+        lines = result.to_csv().splitlines()
+        assert lines[0] == "program,8KB,16KB,32KB,64KB"
+        assert len(lines) == 13
+        for line in lines[1:]:
+            for cell in line.split(",")[1:]:
+                assert float(cell) >= 0.99
+
+    def test_fig42_csv(self):
+        from repro.experiments import run_fig42, smoke_scale
+
+        result = run_fig42(smoke_scale(trace_length=30_000, window=4_000))
+        header = result.to_csv().splitlines()[0]
+        assert header.endswith("4KB/32KB")

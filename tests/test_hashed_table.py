@@ -1,0 +1,147 @@
+"""Tests for the hashed page table, including equivalence with the
+two-level radix organisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.mem import TwoPageSizePageTable, WalkCycleModel, measure_walk_costs
+from repro.mem.hashed_table import HashedPageTable
+from repro.types import PAGE_4KB, PAGE_32KB, PAIR_4KB_32KB
+
+
+class TestBasicMapping:
+    def test_small_walk(self):
+        table = HashedPageTable()
+        table.map_small(5, 7 * PAGE_4KB)
+        translation = table.walk(5 * PAGE_4KB + 0x10)
+        assert translation.frame_base == 7 * PAGE_4KB
+        assert translation.page_size == PAGE_4KB
+        assert translation.memory_touches >= 1
+
+    def test_large_walk_probes_small_first(self):
+        table = HashedPageTable()
+        table.map_large(3, 9 * PAGE_32KB)
+        translation = table.walk(3 * PAGE_32KB + 0x123)
+        assert translation.frame_base == 9 * PAGE_32KB
+        assert translation.page_size == PAGE_32KB
+        # Failed small probe (>=1 touch) plus the large probe.
+        assert translation.memory_touches >= 2
+
+    def test_unmapped(self):
+        assert HashedPageTable().walk(0xDEAD000) is None
+
+    def test_unmap(self):
+        table = HashedPageTable()
+        table.map_small(5, PAGE_4KB)
+        assert table.unmap_small(5) == PAGE_4KB
+        assert table.unmap_small(5) is None
+        assert table.walk(5 * PAGE_4KB) is None
+
+    def test_counts_and_load_factor(self):
+        table = HashedPageTable(buckets=64)
+        for block in range(10):
+            table.map_small(block * 7, block * PAGE_4KB)
+        table.map_large(100, PAGE_32KB)
+        assert table.small_mapping_count() == 10
+        assert table.large_mapping_count() == 1
+        assert table.load_factor() == pytest.approx(11 / 64)
+
+    def test_invariants_enforced(self):
+        table = HashedPageTable()
+        table.map_small(8, 0)  # block 8 = chunk 1
+        with pytest.raises(SimulationError):
+            table.map_large(1, PAGE_32KB)
+        table.unmap_small(8)
+        table.map_large(1, PAGE_32KB)
+        with pytest.raises(SimulationError):
+            table.map_small(9, 0)
+
+    def test_alignment_and_buckets_validated(self):
+        with pytest.raises(ConfigurationError):
+            HashedPageTable(buckets=100)
+        with pytest.raises(ConfigurationError):
+            HashedPageTable().map_small(1, 0x123)
+
+    def test_remap_replaces(self):
+        table = HashedPageTable()
+        table.map_small(5, PAGE_4KB)
+        table.map_small(5, 2 * PAGE_4KB)
+        assert table.small_mapping_count() == 1
+        assert table.walk(5 * PAGE_4KB).frame_base == 2 * PAGE_4KB
+
+
+class TestEquivalenceWithRadixTable:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=255), st.booleans()),
+            max_size=60,
+        )
+    )
+    def test_same_translations(self, operations):
+        """Both organisations must map/walk identically (touches aside)."""
+        radix = TwoPageSizePageTable(PAIR_4KB_32KB)
+        hashed = HashedPageTable(PAIR_4KB_32KB, buckets=64)
+        for number, large in operations:
+            if large:
+                chunk = number
+                frame = (number + 1) * PAGE_32KB
+                try:
+                    radix.map_large(chunk, frame)
+                except SimulationError:
+                    with pytest.raises(SimulationError):
+                        hashed.map_large(chunk, frame)
+                    continue
+                hashed.map_large(chunk, frame)
+            else:
+                block = number
+                frame = (number + 1) * PAGE_4KB
+                try:
+                    radix.map_small(block, frame)
+                except SimulationError:
+                    with pytest.raises(SimulationError):
+                        hashed.map_small(block, frame)
+                    continue
+                hashed.map_small(block, frame)
+        rng = np.random.default_rng(1)
+        for address in rng.integers(0, 256 * PAGE_32KB, size=200):
+            left = radix.walk(int(address))
+            right = hashed.walk(int(address))
+            if left is None:
+                assert right is None
+            else:
+                assert right is not None
+                assert left.frame_base == right.frame_base
+                assert left.page_size == right.page_size
+
+
+class TestHandlerCostComparison:
+    def test_lightly_loaded_hash_beats_radix_on_small_pages(self):
+        # One chain entry vs two radix levels.
+        radix = TwoPageSizePageTable()
+        hashed = HashedPageTable(buckets=256)
+        for block in range(20):
+            radix.map_small(block, block * PAGE_4KB)
+            hashed.map_small(block, block * PAGE_4KB)
+        addresses = [block * PAGE_4KB for block in range(20)]
+        model = WalkCycleModel()
+        assert measure_walk_costs(hashed, addresses, model) < (
+            measure_walk_costs(radix, addresses, model)
+        )
+
+    def test_overloaded_hash_degrades(self):
+        # Cram many mappings into few buckets: chains grow, and the
+        # radix walk's fixed two touches win.
+        radix = TwoPageSizePageTable()
+        hashed = HashedPageTable(buckets=2)
+        for block in range(64):
+            radix.map_small(block, block * PAGE_4KB)
+            hashed.map_small(block, block * PAGE_4KB)
+        addresses = [block * PAGE_4KB for block in range(64)]
+        model = WalkCycleModel()
+        assert measure_walk_costs(hashed, addresses, model) > (
+            measure_walk_costs(radix, addresses, model)
+        )

@@ -1,0 +1,149 @@
+"""Tests for Mattson stack simulation against naive per-config simulators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.stacksim import lru_miss_curve, per_set_miss_curve
+
+
+def naive_lru_misses(keys, capacity):
+    """Reference fully associative LRU simulator: one config at a time."""
+    stack = []
+    misses = 0
+    for key in keys:
+        if key in stack:
+            stack.remove(key)
+        else:
+            misses += 1
+            if len(stack) == capacity:
+                stack.pop()
+        stack.insert(0, key)
+    return misses
+
+
+def naive_set_assoc_misses(indices, tags, associativity):
+    """Reference set-associative LRU simulator."""
+    sets = {}
+    misses = 0
+    for index, tag in zip(indices, tags):
+        stack = sets.setdefault(index, [])
+        if tag in stack:
+            stack.remove(tag)
+        else:
+            misses += 1
+            if len(stack) == associativity:
+                stack.pop()
+        stack.insert(0, tag)
+    return misses
+
+
+key_streams = st.lists(st.integers(min_value=0, max_value=30), max_size=300)
+
+
+class TestLruMissCurve:
+    def test_empty_stream(self):
+        curve = lru_miss_curve([], max_capacity=4)
+        assert curve.total_references == 0
+        assert curve.misses(1) == 0
+        assert curve.miss_ratio(4) == 0.0
+
+    def test_sequential_stream_always_misses(self):
+        curve = lru_miss_curve(range(100), max_capacity=8)
+        assert curve.misses(8) == 100
+        assert curve.cold_misses == 100
+
+    def test_single_page_hits_after_cold_miss(self):
+        curve = lru_miss_curve([7] * 50, max_capacity=4)
+        assert curve.misses(1) == 1
+        assert curve.hits(1) == 49
+
+    def test_loop_larger_than_capacity_thrashes(self):
+        # A cyclic sweep over N+1 keys misses every time at capacity N
+        # under LRU (the classic worst case).
+        keys = list(range(5)) * 20
+        curve = lru_miss_curve(keys, max_capacity=8)
+        assert curve.misses(4) == 100
+        assert curve.misses(5) == 5  # fits: only cold misses
+
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(42)
+        keys = rng.integers(0, 40, size=2000)
+        curve = lru_miss_curve(keys, max_capacity=32)
+        misses = [curve.misses(c) for c in range(1, 33)]
+        assert misses == sorted(misses, reverse=True)
+
+    @settings(max_examples=40, deadline=None)
+    @given(key_streams, st.integers(min_value=1, max_value=12))
+    def test_matches_naive_simulator(self, keys, capacity):
+        curve = lru_miss_curve(keys, max_capacity=12)
+        assert curve.misses(capacity) == naive_lru_misses(keys, capacity)
+
+    def test_numpy_input_accepted(self):
+        keys = np.array([1, 2, 1, 3], dtype=np.uint32)
+        assert lru_miss_curve(keys, max_capacity=4).misses(2) == 3
+
+    def test_capacity_beyond_bound_rejected(self):
+        curve = lru_miss_curve([1, 2, 3], max_capacity=4)
+        with pytest.raises(SimulationError):
+            curve.misses(5)
+
+    def test_nonpositive_capacity_rejected(self):
+        curve = lru_miss_curve([1], max_capacity=4)
+        with pytest.raises(SimulationError):
+            curve.misses(0)
+
+    def test_bad_max_capacity_rejected(self):
+        with pytest.raises(ConfigurationError):
+            lru_miss_curve([1], max_capacity=0)
+
+    def test_accounting_identity(self):
+        rng = np.random.default_rng(7)
+        keys = rng.integers(0, 25, size=500)
+        curve = lru_miss_curve(keys, max_capacity=16)
+        classified = (
+            int(curve.depth_hits.sum()) + curve.cold_misses + curve.beyond_misses
+        )
+        assert classified == curve.total_references
+
+
+class TestPerSetMissCurve:
+    def test_two_sets_partition_references(self):
+        # Even tags -> set 0, odd tags -> set 1.
+        tags = [0, 1, 2, 3, 0, 1, 2, 3]
+        indices = [tag % 2 for tag in tags]
+        curve = per_set_miss_curve(indices, tags, max_associativity=4)
+        # Each set holds two tags; associativity 2 gives only cold misses.
+        assert curve.misses(2) == 4
+        # Associativity 1: within each set the two tags alternate and evict
+        # each other every time.
+        assert curve.misses(1) == 8
+
+    @settings(max_examples=40, deadline=None)
+    @given(key_streams, st.integers(min_value=1, max_value=8))
+    def test_matches_naive_simulator(self, tags, associativity):
+        indices = [tag % 4 for tag in tags]
+        curve = per_set_miss_curve(indices, tags, max_associativity=8)
+        assert curve.misses(associativity) == naive_set_assoc_misses(
+            indices, tags, associativity
+        )
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(SimulationError):
+            per_set_miss_curve([0, 1], [5], max_associativity=2)
+
+    def test_bad_associativity_bound_rejected(self):
+        with pytest.raises(ConfigurationError):
+            per_set_miss_curve([], [], max_associativity=0)
+
+    def test_fully_associative_equivalence(self):
+        # With a single set, per-set simulation equals fully associative.
+        rng = np.random.default_rng(3)
+        tags = rng.integers(0, 20, size=400)
+        indices = np.zeros(400, dtype=np.int64)
+        set_curve = per_set_miss_curve(indices, tags, max_associativity=16)
+        full_curve = lru_miss_curve(tags, max_capacity=16)
+        for capacity in (1, 2, 4, 8, 16):
+            assert set_curve.misses(capacity) == full_curve.misses(capacity)

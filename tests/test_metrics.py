@@ -1,0 +1,129 @@
+"""Tests for CPI_TLB, WS_Normalized and the critical penalty metrics."""
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.metrics import (
+    NormalizedWorkingSet,
+    TLBPerformance,
+    arithmetic_mean,
+    critical_miss_penalty_increase,
+    geometric_mean,
+    normalize_working_sets,
+    performance_from_miss_count,
+    speedup_over_baseline,
+)
+
+
+def perf(misses, references=100_000, rpi=1.25, penalty=20.0):
+    return TLBPerformance(misses, references, rpi, penalty)
+
+
+class TestTLBPerformance:
+    def test_paper_formula(self):
+        # CPI_TLB = MPI * penalty; MPI = misses / instructions.
+        p = perf(misses=800, references=100_000, rpi=1.25, penalty=20.0)
+        assert p.instructions == pytest.approx(80_000)
+        assert p.misses_per_instruction == pytest.approx(0.01)
+        assert p.cpi_tlb == pytest.approx(0.2)
+        assert p.miss_ratio == pytest.approx(0.008)
+
+    def test_extra_cycles_fold_into_cpi(self):
+        base = perf(100)
+        with_extra = TLBPerformance(100, 100_000, 1.25, 20.0, extra_cycles=800)
+        assert with_extra.cpi_tlb == pytest.approx(base.cpi_tlb + 0.01)
+
+    def test_zero_references(self):
+        p = perf(0, references=0)
+        assert p.cpi_tlb == 0.0
+        assert p.miss_ratio == 0.0
+
+    def test_invalid_counts_rejected(self):
+        with pytest.raises(SimulationError):
+            perf(-1)
+        with pytest.raises(SimulationError):
+            perf(10, references=5)
+        with pytest.raises(SimulationError):
+            TLBPerformance(1, 10, 0.0, 20.0)
+
+    def test_penalty_factory(self):
+        single = performance_from_miss_count(10, 1000, 1.25, two_page_sizes=False)
+        double = performance_from_miss_count(10, 1000, 1.25, two_page_sizes=True)
+        assert single.miss_penalty_cycles == 20.0
+        assert double.miss_penalty_cycles == 25.0
+        assert double.cpi_tlb == pytest.approx(1.25 * single.cpi_tlb)
+
+
+class TestCriticalPenalty:
+    def test_equal_mpi_gives_zero(self):
+        assert critical_miss_penalty_increase(perf(100), perf(100)) == 0.0
+
+    def test_halved_mpi_gives_100_percent(self):
+        assert critical_miss_penalty_increase(perf(100), perf(50)) == pytest.approx(
+            100.0
+        )
+
+    def test_worse_mpi_goes_negative(self):
+        assert critical_miss_penalty_increase(perf(100), perf(200)) < 0
+
+    def test_zero_miss_candidate_is_unbounded(self):
+        assert math.isinf(critical_miss_penalty_increase(perf(100), perf(0)))
+
+    def test_paper_range_example(self):
+        # An 8x MPI reduction tolerates a 700% penalty increase.
+        assert critical_miss_penalty_increase(
+            perf(800), perf(100)
+        ) == pytest.approx(700.0)
+
+
+class TestSpeedup:
+    def test_speedup_ratio(self):
+        base = perf(200, penalty=20.0)
+        two = TLBPerformance(100, 100_000, 1.25, 25.0)
+        # CPI ratio: (200*20) / (100*25) = 1.6
+        assert speedup_over_baseline(base, two) == pytest.approx(1.6)
+
+    def test_zero_cpi_candidate(self):
+        assert math.isinf(speedup_over_baseline(perf(10), perf(0)))
+
+
+class TestNormalizedWorkingSet:
+    def test_normalisation(self):
+        result = normalize_working_sets(
+            {"4KB": 100.0, "32KB": 167.0, "4KB/32KB": 110.0}
+        )
+        assert result["4KB"].normalized == pytest.approx(1.0)
+        assert result["32KB"].normalized == pytest.approx(1.67)
+        assert result["4KB/32KB"].percent_increase == pytest.approx(10.0)
+
+    def test_missing_baseline_rejected(self):
+        with pytest.raises(SimulationError):
+            normalize_working_sets({"32KB": 5.0})
+
+    def test_zero_baseline_degrades_gracefully(self):
+        ws = NormalizedWorkingSet("x", 0.0, 5.0)
+        assert ws.normalized == 1.0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(SimulationError):
+            NormalizedWorkingSet("x", -1.0, 5.0)
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_geometric_rejects_nonpositive(self):
+        with pytest.raises(SimulationError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            arithmetic_mean([])
+        with pytest.raises(SimulationError):
+            geometric_mean([])

@@ -1,0 +1,199 @@
+"""Integration tests for the MMU: TLB + policy + page table + allocator."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem import MemoryManagementUnit, single_size_penalty
+from repro.policy import DynamicPromotionPolicy, StaticLargePolicy, StaticSmallPolicy
+from repro.tlb import FullyAssociativeTLB
+from repro.types import MB, PAGE_4KB, PAGE_32KB, PAIR_4KB_32KB
+
+
+def make_mmu(policy=None, entries=16, memory=4 * MB):
+    if policy is None:
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=64)
+    return MemoryManagementUnit(
+        FullyAssociativeTLB(entries), policy, memory_size=memory
+    )
+
+
+class TestBasicTranslation:
+    def test_first_touch_faults_then_hits(self):
+        mmu = make_mmu()
+        first = mmu.translate(0x1000)
+        assert not first.tlb_hit
+        assert first.page_fault
+        assert first.cycles == 25.0  # two-size penalty default
+        second = mmu.translate(0x1004)
+        assert second.tlb_hit
+        assert second.cycles == 0.0
+
+    def test_same_page_same_frame(self):
+        mmu = make_mmu()
+        first = mmu.translate(0x2000)
+        second = mmu.translate(0x2FFC)
+        assert first.physical & ~0xFFF == second.physical & ~0xFFC & ~0xFFF
+        assert second.physical - first.physical == 0xFFC
+
+    def test_different_pages_different_frames(self):
+        mmu = make_mmu()
+        one = mmu.translate(0x0)
+        two = mmu.translate(0x1000)
+        assert (one.physical >> 12) != (two.physical >> 12)
+
+    def test_offset_preserved(self):
+        mmu = make_mmu()
+        outcome = mmu.translate(0x5678)
+        assert outcome.physical & 0xFFF == 0x678
+
+    def test_custom_penalty(self):
+        policy = StaticSmallPolicy(PAIR_4KB_32KB)
+        mmu = MemoryManagementUnit(
+            FullyAssociativeTLB(4),
+            policy,
+            penalty=single_size_penalty(),
+            memory_size=MB,
+        )
+        assert mmu.translate(0).cycles == 20.0
+
+    def test_memory_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_mmu(memory=PAGE_4KB)
+
+
+class TestPromotionMechanics:
+    def test_promotion_consolidates_chunk(self):
+        mmu = make_mmu()
+        # Touch four blocks of chunk 0: the fourth promotes.
+        for block in range(4):
+            mmu.translate(block * PAGE_4KB)
+        assert mmu.stats.promotions_applied == 1
+        assert mmu.page_table.large_mapping_count() == 1
+        assert mmu.page_table.small_mapping_count() == 0
+        # Resident blocks were copied into the large frame.
+        assert mmu.stats.blocks_copied == 3
+
+    def test_promoted_chunk_translates_with_large_page(self):
+        mmu = make_mmu()
+        for block in range(4):
+            mmu.translate(block * PAGE_4KB)
+        outcome = mmu.translate(7 * PAGE_4KB + 0x10)
+        frame = mmu.page_table.lookup_large(0)
+        assert outcome.physical == frame + 7 * PAGE_4KB + 0x10
+
+    def test_promotion_invalidates_small_tlb_entries(self):
+        mmu = make_mmu()
+        for block in range(4):
+            mmu.translate(block * PAGE_4KB)
+        assert mmu.tlb.stats.invalidations == 3  # 3 small entries existed
+
+    def test_promotion_cancelled_under_fragmentation(self):
+        # Fill physical memory with small frames so that no contiguous
+        # 32KB region remains, then trigger a promotion.
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=4096)
+        mmu = make_mmu(policy=policy, memory=MB)
+        # Fill memory with 4KB frames, then free every other frame:
+        # plenty of small frames remain but no contiguous 32KB block.
+        frames = []
+        while True:
+            frame = mmu.allocator.try_allocate(PAGE_4KB)
+            if frame is None:
+                break
+            frames.append(frame)
+        for frame in sorted(frames)[::2]:
+            mmu.allocator.free(frame)
+        assert mmu.allocator.try_allocate(PAGE_32KB) is None
+        for block in range(4):
+            mmu.translate(block * PAGE_4KB)
+        assert mmu.stats.promotions_cancelled >= 1
+        assert not policy.is_promoted(0)
+        # References still translate via small pages.
+        outcome = mmu.translate(0)
+        assert outcome.physical is not None
+
+    def test_demotion_frees_large_frame(self):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=8)
+        mmu = make_mmu(policy=policy)
+        for block in range(4):
+            mmu.translate(block * PAGE_4KB)
+        assert mmu.stats.promotions_applied == 1
+        # Age chunk 0 out of the tiny window with distant references.
+        for i in range(8):
+            mmu.translate((100 + i) * PAGE_32KB)
+        assert mmu.stats.demotions_applied == 1
+        assert mmu.page_table.lookup_large(0) is None
+        # Re-touching the data is a remap, not a page fault.
+        faults_before = mmu.stats.page_faults
+        mmu.translate(0)
+        assert mmu.stats.page_faults == faults_before
+
+
+class TestStaticPolicies:
+    def test_all_large_policy_maps_whole_chunks(self):
+        mmu = make_mmu(policy=StaticLargePolicy(PAIR_4KB_32KB))
+        mmu.translate(0x100)
+        assert mmu.page_table.large_mapping_count() == 1
+        # Any address in the chunk now hits.
+        assert mmu.translate(PAGE_32KB - 4).tlb_hit
+
+    def test_all_small_policy_never_promotes(self):
+        mmu = make_mmu(policy=StaticSmallPolicy(PAIR_4KB_32KB))
+        for block in range(8):
+            mmu.translate(block * PAGE_4KB)
+        assert mmu.stats.promotions_applied == 0
+        assert mmu.page_table.small_mapping_count() == 8
+
+    def test_statistics_accumulate(self):
+        mmu = make_mmu(policy=StaticSmallPolicy(PAIR_4KB_32KB))
+        for _ in range(3):
+            mmu.translate(0x42)
+        assert mmu.stats.translations == 3
+        assert mmu.stats.page_faults == 1
+        assert mmu.stats.cycles == 25.0
+
+
+class TestAlternativePageTable:
+    def test_hashed_table_backs_the_mmu(self):
+        from repro.mem.hashed_table import HashedPageTable
+
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=64)
+        mmu = MemoryManagementUnit(
+            FullyAssociativeTLB(16),
+            policy,
+            memory_size=4 * MB,
+            page_table=HashedPageTable(PAIR_4KB_32KB),
+        )
+        for block in range(4):
+            mmu.translate(block * PAGE_4KB)
+        assert mmu.stats.promotions_applied == 1
+        assert mmu.page_table.large_mapping_count() == 1
+        outcome = mmu.translate(7 * PAGE_4KB + 0x10)
+        frame = mmu.page_table.lookup_large(0)
+        assert outcome.physical == frame + 7 * PAGE_4KB + 0x10
+
+    def test_both_organisations_agree_end_to_end(self):
+        import numpy as np
+
+        from repro.mem import TwoPageSizePageTable
+        from repro.mem.hashed_table import HashedPageTable
+
+        rng = np.random.default_rng(21)
+        addresses = rng.integers(0, 2 * PAGE_32KB * 16, size=3000)
+
+        def run(table):
+            policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=400)
+            mmu = MemoryManagementUnit(
+                FullyAssociativeTLB(16),
+                policy,
+                memory_size=8 * MB,
+                page_table=table,
+            )
+            return [mmu.translate(int(a)).tlb_hit for a in addresses], mmu
+
+        radix_hits, radix_mmu = run(TwoPageSizePageTable(PAIR_4KB_32KB))
+        hashed_hits, hashed_mmu = run(HashedPageTable(PAIR_4KB_32KB))
+        assert radix_hits == hashed_hits
+        assert (
+            radix_mmu.stats.promotions_applied
+            == hashed_mmu.stats.promotions_applied
+        )

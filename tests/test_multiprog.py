@@ -1,0 +1,132 @@
+"""Tests for the multiprogrammed TLB models and driver."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.sim import TLBConfig, run_multiprogrammed
+from repro.tlb import ContextSwitchPolicy, FullyAssociativeTLB, MultiprogrammedTLB
+from repro.trace import Trace, interleave_with_contexts
+from repro.types import PAGE_4KB
+
+
+def trace_of_pages(pages, name="t"):
+    return Trace(
+        np.array(pages, dtype=np.uint32) * PAGE_4KB,
+        name=name,
+        refs_per_instruction=1.25,
+    )
+
+
+class TestMultiprogrammedTLB:
+    def test_flush_policy_empties_on_switch(self):
+        tlb = MultiprogrammedTLB(FullyAssociativeTLB(8), ContextSwitchPolicy.FLUSH)
+        tlb.access_single(1)
+        tlb.switch_to(1)
+        assert not tlb.access_single(1)  # flushed
+        assert tlb.switches == 1
+
+    def test_asid_policy_keeps_entries_across_switches(self):
+        tlb = MultiprogrammedTLB(FullyAssociativeTLB(8), ContextSwitchPolicy.ASID)
+        tlb.access_single(1)
+        tlb.switch_to(1)
+        tlb.access_single(99)
+        tlb.switch_to(0)
+        assert tlb.access_single(1)  # survived both switches
+
+    def test_asid_distinguishes_same_virtual_page(self):
+        # Two contexts touching page 5 must not share an entry.
+        tlb = MultiprogrammedTLB(FullyAssociativeTLB(8), ContextSwitchPolicy.ASID)
+        assert not tlb.access_single(5)
+        tlb.switch_to(1)
+        assert not tlb.access_single(5)
+        tlb.switch_to(0)
+        assert tlb.access_single(5)
+
+    def test_switch_to_same_asid_is_free(self):
+        tlb = MultiprogrammedTLB(FullyAssociativeTLB(8), ContextSwitchPolicy.FLUSH)
+        tlb.access_single(1)
+        tlb.switch_to(0)
+        assert tlb.switches == 0
+        assert tlb.access_single(1)
+
+    def test_negative_asid_rejected(self):
+        tlb = MultiprogrammedTLB(FullyAssociativeTLB(8), ContextSwitchPolicy.ASID)
+        with pytest.raises(ConfigurationError):
+            tlb.switch_to(-1)
+
+    def test_two_page_sizes_under_asid(self):
+        tlb = MultiprogrammedTLB(FullyAssociativeTLB(8), ContextSwitchPolicy.ASID)
+        tlb.access(40, 5, large=True)
+        tlb.switch_to(1)
+        assert not tlb.access(40, 5, large=True)
+        tlb.switch_to(0)
+        assert tlb.access(47, 5, large=True)
+
+
+class TestInterleaveWithContexts:
+    def test_contexts_follow_schedule(self):
+        left = trace_of_pages([1, 2, 3, 4], name="L")
+        right = trace_of_pages([9, 8], name="R")
+        mixed, contexts = interleave_with_contexts([left, right], quantum=2)
+        assert len(mixed) == 6
+        assert contexts.tolist() == [0, 0, 1, 1, 0, 0]
+        # Addresses are preserved, not offset.
+        assert mixed.addresses[2] == 9 * PAGE_4KB
+
+    def test_rejects_empty(self):
+        with pytest.raises(TraceError):
+            interleave_with_contexts([])
+
+    def test_rejects_bad_quantum(self):
+        with pytest.raises(TraceError):
+            interleave_with_contexts([trace_of_pages([1])], quantum=0)
+
+
+class TestRunMultiprogrammed:
+    def make_traces(self):
+        rng = np.random.default_rng(7)
+        return [
+            trace_of_pages(rng.integers(0, 12, size=5000), name=f"p{i}")
+            for i in range(3)
+        ]
+
+    def test_asid_beats_flush(self):
+        traces = self.make_traces()
+        config = TLBConfig(32)
+        flush = run_multiprogrammed(
+            traces, config, quantum=500,
+            switch_policy=ContextSwitchPolicy.FLUSH,
+        )
+        asid = run_multiprogrammed(
+            traces, config, quantum=500,
+            switch_policy=ContextSwitchPolicy.ASID,
+        )
+        assert flush.switches == asid.switches > 0
+        assert asid.misses <= flush.misses
+
+    def test_flush_misses_grow_as_quantum_shrinks(self):
+        traces = self.make_traces()
+        config = TLBConfig(32)
+        short = run_multiprogrammed(
+            traces, config, quantum=100,
+            switch_policy=ContextSwitchPolicy.FLUSH,
+        )
+        long = run_multiprogrammed(
+            traces, config, quantum=2500,
+            switch_policy=ContextSwitchPolicy.FLUSH,
+        )
+        assert short.misses > long.misses
+
+    def test_result_metrics(self):
+        traces = self.make_traces()
+        result = run_multiprogrammed(traces, TLBConfig(16), quantum=1000)
+        assert result.references == 15_000
+        assert result.cpi_tlb == pytest.approx(
+            result.misses / (15_000 / 1.25) * 20.0
+        )
+        assert result.program_names == ("p0", "p1", "p2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            run_multiprogrammed([], TLBConfig(16))

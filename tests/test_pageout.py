@@ -1,0 +1,158 @@
+"""Tests for the page-fault (weighted LRU paging) simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem import (
+    fault_rate_curve,
+    single_size_paging,
+    two_size_paging,
+)
+from repro.stacksim import lru_miss_curve
+from repro.trace import Trace
+from repro.types import KB, MB, PAGE_4KB, PAGE_32KB, PAIR_4KB_32KB
+from repro.workloads import generate_trace
+
+
+def page_trace(pages, name="t"):
+    return Trace(np.array(pages, dtype=np.uint32) * PAGE_4KB, name=name)
+
+
+class TestSingleSizePaging:
+    def test_matches_stack_simulation(self):
+        # With one page size, weighted LRU is classic LRU paging: the
+        # fault count at M bytes equals the miss count at M/page frames.
+        rng = np.random.default_rng(3)
+        trace = page_trace(rng.integers(0, 50, size=5000))
+        pages = (trace.addresses >> 12)
+        curve = lru_miss_curve(pages, max_capacity=64)
+        for frames in (4, 8, 16, 32):
+            result = single_size_paging(trace, PAGE_4KB, frames * PAGE_4KB)
+            assert result.faults == curve.misses(frames), frames
+
+    def test_everything_fits(self):
+        trace = page_trace([1, 2, 3] * 100)
+        result = single_size_paging(trace, PAGE_4KB, MB)
+        assert result.faults == 3  # cold faults only
+        assert result.bytes_paged_in == 3 * PAGE_4KB
+
+    def test_thrash_when_loop_exceeds_memory(self):
+        trace = page_trace(list(range(5)) * 50)
+        result = single_size_paging(trace, PAGE_4KB, 4 * PAGE_4KB)
+        assert result.faults == len(trace)  # classic LRU loop thrash
+
+    def test_fault_ratio(self):
+        trace = page_trace([1] * 10)
+        result = single_size_paging(trace, PAGE_4KB, MB)
+        assert result.fault_ratio == pytest.approx(0.1)
+
+    def test_memory_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            single_size_paging(page_trace([1]), PAGE_4KB, 1024)
+
+    def test_curve_monotone_in_memory(self):
+        trace = generate_trace("li", 40_000, seed=0)
+        curve = fault_rate_curve(
+            trace, PAGE_4KB, [64 * KB, 256 * KB, MB, 4 * MB]
+        )
+        rates = [curve[m].fault_ratio for m in (64 * KB, 256 * KB, MB, 4 * MB)]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_empty_memory_list_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fault_rate_curve(page_trace([1]), PAGE_4KB, [])
+
+
+class TestTwoSizePaging:
+    def test_reduces_to_small_pages_when_nothing_promotes(self):
+        # One block per chunk: the policy never promotes, so two-size
+        # paging equals 4KB paging exactly.
+        rng = np.random.default_rng(5)
+        addresses = (
+            rng.integers(0, 64, size=3000).astype(np.uint32) * PAGE_32KB
+        )
+        trace = Trace(addresses, name="sparse")
+        memory = 24 * PAGE_4KB
+        two = two_size_paging(trace, PAIR_4KB_32KB, window=500, memory_bytes=memory)
+        small = single_size_paging(trace, PAGE_4KB, memory)
+        assert two.faults == small.faults
+        assert two.bytes_paged_in == small.bytes_paged_in
+
+    def test_promotion_pages_in_whole_chunks(self):
+        # A dense loop promotes its chunk: paged-in bytes approach the
+        # chunk size even though only half the blocks were ever touched
+        # before promotion.
+        addresses = np.tile(
+            np.arange(4, dtype=np.uint32) * PAGE_4KB, 300
+        )
+        trace = Trace(addresses, name="dense")
+        result = two_size_paging(
+            trace, PAIR_4KB_32KB, window=64, memory_bytes=MB
+        )
+        assert result.bytes_paged_in >= PAGE_32KB
+
+    def test_under_memory_pressure_two_size_faults_more(self):
+        # The paper's warning made concrete: with memory sized to the
+        # 4KB working set, the inflated two-size working set faults more
+        # for a program whose chunks promote at half occupancy.
+        rng = np.random.default_rng(9)
+        # 64 chunks, 4 hot blocks each: all promote, doubling the bytes.
+        chunk = rng.integers(0, 64, size=30_000).astype(np.uint32)
+        block = rng.integers(0, 4, size=30_000).astype(np.uint32)
+        trace = Trace(chunk * PAGE_32KB + block * PAGE_4KB, name="half")
+        memory = 64 * 4 * PAGE_4KB  # exactly the 4KB working set
+        small = single_size_paging(trace, PAGE_4KB, memory)
+        two = two_size_paging(
+            trace, PAIR_4KB_32KB, window=10_000, memory_bytes=memory
+        )
+        assert two.faults > small.faults
+
+    def test_memory_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            two_size_paging(page_trace([1]), PAIR_4KB_32KB, 10, 16 * KB)
+
+
+class TestPagingProperties:
+    """Hypothesis checks on the weighted-LRU core."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), max_size=300),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_single_size_equals_stack_counts(self, pages, frames):
+        trace = page_trace(pages) if pages else page_trace([0])[:0]
+        if not pages:
+            return
+        result = single_size_paging(trace, PAGE_4KB, frames * PAGE_4KB)
+        curve = lru_miss_curve(pages, max_capacity=64)
+        assert result.faults == curve.misses(min(frames, 64))
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=40), max_size=300))
+    def test_more_memory_never_faults_more(self, pages):
+        if not pages:
+            return
+        trace = page_trace(pages)
+        small = single_size_paging(trace, PAGE_4KB, 4 * PAGE_4KB)
+        big = single_size_paging(trace, PAGE_4KB, 32 * PAGE_4KB)
+        assert big.faults <= small.faults
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=60), max_size=300))
+    def test_two_size_faults_at_least_distinct_pages(self, blocks):
+        if not blocks:
+            return
+        trace = page_trace(blocks)
+        result = two_size_paging(
+            trace, PAIR_4KB_32KB, window=20, memory_bytes=MB
+        )
+        # At generous memory, faults equal distinct resident objects
+        # (>= 1 per distinct chunk ever touched).
+        distinct_chunks = len({b // 8 for b in blocks})
+        assert result.faults >= distinct_chunks
+        assert result.faults <= len(blocks)

@@ -1,0 +1,258 @@
+"""Tests for the access-pattern streams."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.types import KB, MB, PAGE_4KB, PAGE_32KB
+from repro.workloads import (
+    DenseZipf,
+    HotSpot,
+    LockstepSweep,
+    PhaseAlternator,
+    PointerChase,
+    Region,
+    SequentialRuns,
+    SequentialSweep,
+    SparseHot,
+    StridedSweep,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestRegion:
+    def test_bounds(self):
+        region = Region(0x1000, 0x2000)
+        assert region.end == 0x3000
+        assert region.contains(0x1000)
+        assert region.contains(0x2FFF)
+        assert not region.contains(0x3000)
+
+    def test_sub_region(self):
+        region = Region(0x1000, 0x2000)
+        sub = region.sub(0x800, 0x100)
+        assert sub.base == 0x1800
+        with pytest.raises(WorkloadError):
+            region.sub(0x1F00, 0x200)
+
+    def test_invalid_regions(self):
+        with pytest.raises(WorkloadError):
+            Region(0, 0)
+        with pytest.raises(WorkloadError):
+            Region(-4, 16)
+        with pytest.raises(WorkloadError):
+            Region((1 << 32) - 8, 16)
+
+
+class TestSequentialSweep:
+    def test_advances_by_stride(self):
+        sweep = SequentialSweep(Region(0x1000, 64), stride=8)
+        assert sweep.take(4).tolist() == [0x1000, 0x1008, 0x1010, 0x1018]
+
+    def test_state_persists_across_takes(self):
+        sweep = SequentialSweep(Region(0x1000, 64), stride=8)
+        sweep.take(2)
+        assert sweep.take(1).tolist() == [0x1010]
+
+    def test_wraps_at_region_end(self):
+        sweep = SequentialSweep(Region(0x1000, 16), stride=8)
+        assert sweep.take(3).tolist() == [0x1000, 0x1008, 0x1000]
+
+    def test_stays_in_region(self):
+        region = Region(2 * MB, 100 * KB)
+        sweep = SequentialSweep(region, stride=24)
+        addresses = sweep.take(100_000)
+        assert addresses.min() >= region.base
+        assert addresses.max() < region.end
+
+    def test_covers_every_page(self):
+        region = Region(0, 64 * KB)
+        sweep = SequentialSweep(region, stride=64)
+        pages = set((sweep.take(2000) // PAGE_4KB).tolist())
+        assert pages == set(range(16))
+
+
+class TestStridedSweep:
+    def test_touches_new_page_almost_every_reference(self):
+        # A 2400-byte stride crosses a 4KB page boundary most steps.
+        region = Region(4 * MB, 768 * KB)
+        sweep = StridedSweep(region, stride=2400, element=8)
+        addresses = sweep.take(1000)
+        pages = addresses // PAGE_4KB
+        transitions = int((pages[1:] != pages[:-1]).sum())
+        assert transitions > 500
+
+    def test_visits_all_columns_eventually(self):
+        region = Region(0, 4 * KB)
+        sweep = StridedSweep(region, stride=1024, element=256)
+        addresses = sweep.take(16)
+        # 4 rows x 4 columns, column-major order.
+        assert len(set(addresses.tolist())) == 16
+
+    def test_stays_in_region(self):
+        region = Region(8 * MB, 500 * KB)
+        sweep = StridedSweep(region, stride=2048, element=8)
+        addresses = sweep.take(50_000)
+        assert addresses.min() >= region.base
+        assert addresses.max() < region.end
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(WorkloadError):
+            StridedSweep(Region(0, 1024), stride=2048)
+        with pytest.raises(WorkloadError):
+            StridedSweep(Region(0, 1024), stride=0)
+
+
+class TestLockstepSweep:
+    def test_round_robin_at_shared_index(self):
+        regions = [Region(0x10000, 64), Region(0x20000, 64)]
+        sweep = LockstepSweep(regions, element=8)
+        assert sweep.take(4).tolist() == [0x10000, 0x20000, 0x10008, 0x20008]
+
+    def test_chunk_congruence_with_paper_spacing(self):
+        # The tomcatv layout: bases 516KB apart keep chunk numbers
+        # congruent mod 8 while block numbers take distinct phases.
+        regions = [Region(16 * MB + i * 516 * KB, 416 * KB) for i in range(7)]
+        chunks = [r.base // PAGE_32KB for r in regions]
+        blocks = [r.base // PAGE_4KB for r in regions]
+        assert len({c % 8 for c in chunks}) == 1
+        assert len({b % 8 for b in blocks}) == 7
+
+    def test_wraps_all_regions_together(self):
+        regions = [Region(0, 16), Region(0x1000, 16)]
+        sweep = LockstepSweep(regions, element=8)
+        addresses = sweep.take(8).tolist()
+        assert addresses == [0, 0x1000, 8, 0x1008, 0, 0x1000, 8, 0x1008]
+
+    def test_needs_regions(self):
+        with pytest.raises(WorkloadError):
+            LockstepSweep([])
+
+
+class TestRandomStreams:
+    def test_hotspot_stays_in_region(self):
+        region = Region(2 * MB, 16 * KB)
+        stream = HotSpot(region, rng())
+        addresses = stream.take(10_000)
+        assert addresses.min() >= region.base
+        assert addresses.max() < region.end
+
+    def test_sparse_hot_one_block_per_chunk(self):
+        region = Region(4 * MB, 2 * MB)
+        stream = SparseHot(region, rng(), hot_blocks=50, chunk_fill=1)
+        addresses = stream.take(20_000)
+        chunks = addresses // PAGE_32KB
+        blocks = addresses // PAGE_4KB
+        # Every chunk contributes at most one distinct block.
+        by_chunk = {}
+        for chunk, block in zip(chunks.tolist(), blocks.tolist()):
+            by_chunk.setdefault(chunk, set()).add(block)
+        assert all(len(blocks_seen) == 1 for blocks_seen in by_chunk.values())
+
+    def test_sparse_hot_chunk_fill_bounds_density(self):
+        region = Region(4 * MB, 4 * MB)
+        stream = SparseHot(region, rng(), hot_blocks=60, chunk_fill=3)
+        addresses = stream.take(40_000)
+        by_chunk = {}
+        for address in addresses.tolist():
+            by_chunk.setdefault(address // PAGE_32KB, set()).add(
+                address // PAGE_4KB
+            )
+        densities = [len(blocks_seen) for blocks_seen in by_chunk.values()]
+        assert max(densities) == 3  # never reaches the promote threshold
+
+    def test_sparse_hot_requires_room(self):
+        with pytest.raises(WorkloadError):
+            SparseHot(Region(0, 64 * KB), rng(), hot_blocks=50, chunk_fill=1)
+
+    def test_sparse_hot_rejects_promotable_fill(self):
+        with pytest.raises(WorkloadError):
+            SparseHot(Region(0, MB), rng(), hot_blocks=8, chunk_fill=4)
+
+    def test_dense_zipf_concentrates_on_low_pages(self):
+        region = Region(0, MB)
+        stream = DenseZipf(region, rng(), hot_pages=64, alpha=1.2)
+        addresses = stream.take(50_000)
+        pages = addresses // PAGE_4KB
+        # Rank 0 must dominate rank 32 under a Zipf law.
+        counts = np.bincount(pages, minlength=64)
+        assert counts[0] > 5 * counts[32]
+        assert pages.max() < 64
+
+    def test_dense_zipf_fills_chunks(self):
+        region = Region(0, MB)
+        stream = DenseZipf(region, rng(), hot_pages=64, alpha=0.5)
+        addresses = stream.take(50_000)
+        chunk0_blocks = set(
+            (addresses[addresses < PAGE_32KB] // PAGE_4KB).tolist()
+        )
+        assert len(chunk0_blocks) == 8  # the whole first chunk is warm
+
+    def test_pointer_chase_wanders_locally(self):
+        region = Region(0, 4 * MB)
+        stream = PointerChase(region, rng(), mean_jump=64, alignment=8)
+        addresses = stream.take(1000)
+        steps = np.abs(np.diff(addresses.astype(np.int64)))
+        # Wrapping produces a few huge apparent steps; the median step is
+        # the locality signal.
+        assert np.median(steps) < 8 * KB
+
+    def test_pointer_chase_stays_in_region(self):
+        region = Region(MB, 256 * KB)
+        stream = PointerChase(region, rng(), mean_jump=512)
+        addresses = stream.take(20_000)
+        assert addresses.min() >= region.base
+        assert addresses.max() < region.end
+
+
+class TestSequentialRuns:
+    def test_runs_are_sequential(self):
+        region = Region(0x10000, 64 * KB)
+        stream = SequentialRuns(region, rng(), run_length=16)
+        addresses = stream.take(16)
+        deltas = np.diff(addresses.astype(np.int64))
+        assert (deltas == 4).sum() >= 14  # one run, word-by-word
+
+    def test_branches_to_new_pages(self):
+        region = Region(0x10000, 64 * KB)
+        stream = SequentialRuns(region, rng(), run_length=8)
+        addresses = stream.take(5000)
+        pages = set((addresses // PAGE_4KB).tolist())
+        assert len(pages) > 4  # visits a good share of the code pages
+
+    def test_stays_in_region(self):
+        region = Region(0x10000, 8 * KB)
+        stream = SequentialRuns(region, rng(), run_length=64)
+        addresses = stream.take(10_000)
+        assert addresses.min() >= region.base
+        assert addresses.max() < region.end
+
+
+class TestPhaseAlternator:
+    def test_switches_streams_each_phase(self):
+        one = SequentialSweep(Region(0, 1024), stride=8)
+        two = SequentialSweep(Region(MB, 1024), stride=8)
+        phases = PhaseAlternator([one, two], phase_length=3)
+        addresses = phases.take(9)
+        assert (addresses[:3] < 1024).all()
+        assert (addresses[3:6] >= MB).all()
+        assert (addresses[6:9] < 1024).all()
+
+    def test_phase_boundary_spans_takes(self):
+        one = SequentialSweep(Region(0, 1024), stride=8)
+        two = SequentialSweep(Region(MB, 1024), stride=8)
+        phases = PhaseAlternator([one, two], phase_length=4)
+        first = phases.take(3)
+        second = phases.take(3)
+        assert (first < 1024).all()
+        assert second[0] < 1024
+        assert (second[1:] >= MB).all()
+
+    def test_zero_take(self):
+        phases = PhaseAlternator(
+            [SequentialSweep(Region(0, 64), stride=8)], phase_length=2
+        )
+        assert phases.take(0).size == 0

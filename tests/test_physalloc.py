@@ -1,0 +1,124 @@
+"""Tests for the buddy physical-frame allocator."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, ConfigurationError
+from repro.mem import BuddyAllocator
+from repro.types import KB, MB, PAGE_4KB, PAGE_32KB
+
+
+class TestBasicAllocation:
+    def test_allocates_aligned_blocks(self):
+        allocator = BuddyAllocator(MB, PAGE_4KB)
+        base = allocator.allocate(PAGE_32KB)
+        assert base % PAGE_32KB == 0
+
+    def test_distinct_allocations_do_not_overlap(self):
+        allocator = BuddyAllocator(MB, PAGE_4KB)
+        blocks = [allocator.allocate(PAGE_4KB) for _ in range(16)]
+        assert len(set(blocks)) == 16
+
+    def test_exhaustion_raises(self):
+        allocator = BuddyAllocator(64 * KB, PAGE_4KB)
+        for _ in range(16):
+            allocator.allocate(PAGE_4KB)
+        with pytest.raises(AllocationError):
+            allocator.allocate(PAGE_4KB)
+        assert allocator.try_allocate(PAGE_4KB) is None
+
+    def test_free_enables_reuse(self):
+        allocator = BuddyAllocator(64 * KB, PAGE_4KB)
+        blocks = [allocator.allocate(PAGE_4KB) for _ in range(16)]
+        allocator.free(blocks[3])
+        assert allocator.allocate(PAGE_4KB) == blocks[3]
+
+    def test_double_free_rejected(self):
+        allocator = BuddyAllocator(MB, PAGE_4KB)
+        base = allocator.allocate(PAGE_4KB)
+        allocator.free(base)
+        with pytest.raises(AllocationError):
+            allocator.free(base)
+
+    def test_request_too_large(self):
+        allocator = BuddyAllocator(64 * KB, PAGE_4KB)
+        with pytest.raises(AllocationError):
+            allocator.allocate(128 * KB)
+
+    def test_non_power_of_two_rejected(self):
+        allocator = BuddyAllocator(MB, PAGE_4KB)
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(3 * PAGE_4KB)
+        with pytest.raises(ConfigurationError):
+            allocator.allocate(0)
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(MB + 1, PAGE_4KB)
+        with pytest.raises(ConfigurationError):
+            BuddyAllocator(PAGE_4KB, MB)
+
+    def test_small_requests_round_up_to_min_block(self):
+        allocator = BuddyAllocator(MB, PAGE_4KB)
+        allocator.allocate(512)
+        assert allocator.allocated_bytes() == PAGE_4KB
+
+
+class TestCoalescing:
+    def test_buddies_coalesce_on_free(self):
+        allocator = BuddyAllocator(64 * KB, PAGE_4KB)
+        blocks = [allocator.allocate(PAGE_4KB) for _ in range(16)]
+        for base in blocks:
+            allocator.free(base)
+        # Everything freed: one maximal block again.
+        assert allocator.largest_free_block() == 64 * KB
+        assert allocator.free_bytes() == 64 * KB
+        assert allocator.external_fragmentation() == 0.0
+
+    def test_external_fragmentation_blocks_large_pages(self):
+        # Allocate all of memory as 4KB frames, then free every other
+        # frame: half of memory is free but no 8KB+ block exists.
+        allocator = BuddyAllocator(256 * KB, PAGE_4KB)
+        blocks = [allocator.allocate(PAGE_4KB) for _ in range(64)]
+        for base in blocks[::2]:
+            allocator.free(base)
+        assert allocator.free_bytes() == 128 * KB
+        assert allocator.largest_free_block() == PAGE_4KB
+        assert allocator.try_allocate(PAGE_32KB) is None
+        assert allocator.external_fragmentation() > 0.9
+
+
+class TestAccountingInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.sampled_from([4, 8, 16, 32]), max_size=40))
+    def test_free_plus_allocated_is_total(self, sizes_kb):
+        allocator = BuddyAllocator(MB, PAGE_4KB)
+        live = []
+        for size_kb in sizes_kb:
+            base = allocator.try_allocate(size_kb * KB)
+            if base is not None:
+                live.append(base)
+            assert allocator.free_bytes() + allocator.allocated_bytes() == MB
+        for base in live:
+            allocator.free(base)
+        assert allocator.free_bytes() == MB
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data())
+    def test_no_overlapping_blocks(self, data):
+        allocator = BuddyAllocator(256 * KB, PAGE_4KB)
+        live = {}
+        for _ in range(30):
+            if live and data.draw(st.booleans()):
+                base = data.draw(st.sampled_from(sorted(live)))
+                allocator.free(base)
+                del live[base]
+            else:
+                size = data.draw(st.sampled_from([PAGE_4KB, 8 * KB, PAGE_32KB]))
+                base = allocator.try_allocate(size)
+                if base is not None:
+                    live[base] = size
+            intervals = sorted((b, b + s) for b, s in live.items())
+            for (_, end), (start, _) in zip(intervals, intervals[1:]):
+                assert end <= start

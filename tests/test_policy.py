@@ -1,0 +1,279 @@
+"""Tests for the sliding window, promotion policy and dynamic working set."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.policy import (
+    DynamicPromotionPolicy,
+    ExplicitAssignmentPolicy,
+    SlidingBlockWindow,
+    StaticLargePolicy,
+    StaticSmallPolicy,
+    dynamic_average_working_set,
+)
+from repro.stacksim import average_working_set_bytes
+from repro.trace import Trace
+from repro.types import PAGE_4KB, PAGE_32KB, PAIR_4KB_32KB
+
+
+def block_address(chunk, block_in_chunk, pair=PAIR_4KB_32KB):
+    """Address of the first byte of a given block within a given chunk."""
+    return chunk * pair.large + block_in_chunk * pair.small
+
+
+class TestSlidingBlockWindow:
+    def test_block_enters_once(self):
+        window = SlidingBlockWindow(PAIR_4KB_32KB, window=10)
+        left, entered = window.access(5)
+        assert (left, entered) == (None, 5)
+        left, entered = window.access(5)
+        assert (left, entered) == (None, None)
+        assert window.distinct_blocks() == 1
+
+    def test_block_leaves_after_window_expires(self):
+        window = SlidingBlockWindow(PAIR_4KB_32KB, window=3)
+        window.access(1)
+        window.access(2)
+        window.access(3)
+        # The fourth access ages out block 1.
+        left, entered = window.access(4)
+        assert left == 1
+        assert entered == 4
+        assert not window.block_present(1)
+
+    def test_reuse_keeps_block_alive(self):
+        window = SlidingBlockWindow(PAIR_4KB_32KB, window=3)
+        window.access(1)
+        window.access(2)
+        window.access(1)
+        # Oldest reference (block 1) ages out but block 1 is still in the
+        # window via its second reference.
+        left, entered = window.access(3)
+        assert left is None
+        assert window.block_present(1)
+
+    def test_chunk_occupancy_counts_distinct_blocks(self):
+        window = SlidingBlockWindow(PAIR_4KB_32KB, window=100)
+        for block_in_chunk in range(5):
+            window.access(8 * 3 + block_in_chunk)  # chunk 3
+        assert window.chunk_occupancy(3) == 5
+        assert window.chunk_occupancy(0) == 0
+        assert dict(window.occupied_chunks()) == {3: 5}
+
+    def test_references_seen_saturates(self):
+        window = SlidingBlockWindow(PAIR_4KB_32KB, window=4)
+        for i in range(10):
+            window.access(i)
+        assert window.references_seen() == 4
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlidingBlockWindow(PAIR_4KB_32KB, window=0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=15), min_size=1, max_size=200),
+        st.integers(min_value=1, max_value=50),
+    )
+    def test_matches_naive_window(self, blocks, window_size):
+        window = SlidingBlockWindow(PAIR_4KB_32KB, window=window_size)
+        for position, block in enumerate(blocks):
+            window.access(block)
+            expected = set(blocks[max(0, position - window_size + 1) : position + 1])
+            assert window.distinct_blocks() == len(expected)
+            for candidate in range(16):
+                assert window.block_present(candidate) == (candidate in expected)
+
+
+class TestDynamicPromotionPolicy:
+    def test_promotes_at_half_occupancy(self):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=1000)
+        assert policy.promote_blocks == 4
+        decisions = [
+            policy.access(block_address(0, block)) for block in range(4)
+        ]
+        # First three references stay small; the fourth reaches the
+        # threshold and promotes chunk 0.
+        assert [d.large for d in decisions] == [False, False, False, True]
+        assert decisions[3].promoted_chunk == 0
+        assert policy.promotions == 1
+        assert policy.is_promoted(0)
+
+    def test_small_page_numbers_are_block_numbers(self):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=1000)
+        decision = policy.access(block_address(2, 5) + 100)
+        assert not decision.large
+        assert decision.page == 2 * 8 + 5
+
+    def test_large_page_numbers_are_chunk_numbers(self):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=1000)
+        for block in range(4):
+            policy.access(block_address(7, block))
+        decision = policy.access(block_address(7, 6))
+        assert decision.large
+        assert decision.page == 7
+
+    def test_demotes_when_usage_ages_out(self):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=8)
+        for block in range(4):
+            policy.access(block_address(1, block))
+        assert policy.is_promoted(1)
+        # Fill the window with another chunk; chunk 1's blocks age out.
+        demoted = []
+        for i in range(8):
+            decision = policy.access(block_address(9, i % 8))
+            if decision.demoted_chunk is not None:
+                demoted.append(decision.demoted_chunk)
+        assert demoted == [1]
+        assert not policy.is_promoted(1)
+        assert policy.demotions == 1
+
+    def test_one_block_never_promotes(self):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=100)
+        for _ in range(50):
+            decision = policy.access(block_address(3, 0))
+            assert not decision.large
+        assert policy.promotions == 0
+
+    def test_hysteresis_delays_demotion(self):
+        eager = DynamicPromotionPolicy(PAIR_4KB_32KB, window=8)
+        sticky = DynamicPromotionPolicy(
+            PAIR_4KB_32KB, window=8, demote_fraction=0.125
+        )
+        for policy in (eager, sticky):
+            for block in range(4):
+                policy.access(block_address(1, block))
+        # Push three of chunk 1's blocks out of both windows.
+        for policy in (eager, sticky):
+            for i in range(7):
+                policy.access(block_address(9, i))
+            policy.access(block_address(1, 0))
+        assert not eager.is_promoted(1)
+        assert sticky.is_promoted(1)
+
+    def test_reset_clears_state(self):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window=100)
+        for block in range(4):
+            policy.access(block_address(0, block))
+        policy.reset()
+        assert policy.promotions == 0
+        assert not policy.is_promoted(0)
+        assert not policy.access(block_address(0, 7)).large
+
+    def test_bad_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            DynamicPromotionPolicy(PAIR_4KB_32KB, window=10, promote_fraction=0)
+        with pytest.raises(ConfigurationError):
+            DynamicPromotionPolicy(
+                PAIR_4KB_32KB, window=10, promote_fraction=0.5, demote_fraction=0.9
+            )
+
+
+class TestStaticPolicies:
+    def test_static_small(self):
+        policy = StaticSmallPolicy(PAIR_4KB_32KB)
+        decision = policy.access(block_address(4, 3))
+        assert not decision.large
+        assert decision.page == 4 * 8 + 3
+
+    def test_static_large(self):
+        policy = StaticLargePolicy(PAIR_4KB_32KB)
+        decision = policy.access(block_address(4, 3))
+        assert decision.large
+        assert decision.page == 4
+
+    def test_explicit_assignment(self):
+        policy = ExplicitAssignmentPolicy(PAIR_4KB_32KB, large_chunks={2})
+        assert policy.access(block_address(2, 1)).large
+        assert not policy.access(block_address(3, 1)).large
+
+
+class TestDynamicWorkingSet:
+    def test_dense_chunk_counts_one_large_page(self):
+        # Cycle over all 8 blocks of one chunk: promoted almost instantly,
+        # steady-state working set = one 32KB page.
+        addresses = np.tile(
+            np.arange(8, dtype=np.uint32) * PAGE_4KB, 200
+        )
+        result = dynamic_average_working_set(
+            Trace(addresses), PAIR_4KB_32KB, window=64
+        )
+        assert result.promotions >= 1
+        assert result.average_bytes == pytest.approx(PAGE_32KB, rel=0.05)
+
+    def test_sparse_chunks_stay_small(self):
+        # One block per chunk: never promoted, working set = small pages.
+        addresses = np.tile(np.arange(16, dtype=np.uint32) * PAGE_32KB, 50)
+        result = dynamic_average_working_set(
+            Trace(addresses), PAIR_4KB_32KB, window=16
+        )
+        assert result.promotions == 0
+        assert result.average_bytes <= 16 * PAGE_4KB
+
+    def test_at_most_doubles_small_page_working_set(self):
+        # The paper's bound: promotion at half occupancy at worst doubles
+        # the 4KB working set, instantaneously and hence on average.
+        rng = np.random.default_rng(23)
+        addresses = (rng.integers(0, 1 << 20, size=5000)).astype(np.uint32)
+        trace = Trace(addresses)
+        window = 500
+        small_ws = average_working_set_bytes(trace, PAGE_4KB, [window])[window]
+        result = dynamic_average_working_set(trace, PAIR_4KB_32KB, window)
+        assert result.average_bytes <= 2 * small_ws + 1e-9
+
+    def test_bounded_between_small_and_large_single_sizes(self):
+        rng = np.random.default_rng(29)
+        # Clustered addresses so some chunks promote and some stay small.
+        base = rng.integers(0, 32, size=4000) * PAGE_32KB
+        offsets = rng.integers(0, PAGE_32KB, size=4000)
+        trace = Trace((base + offsets).astype(np.uint32))
+        window = 600
+        small_ws = average_working_set_bytes(trace, PAGE_4KB, [window])[window]
+        large_ws = average_working_set_bytes(trace, PAGE_32KB, [window])[window]
+        result = dynamic_average_working_set(trace, PAIR_4KB_32KB, window)
+        assert small_ws - 1e-9 <= result.average_bytes <= large_ws + 1e-9
+
+    def test_matches_brute_force_definition(self):
+        rng = np.random.default_rng(31)
+        addresses = (rng.integers(0, 8 * PAGE_32KB, size=400)).astype(np.uint32)
+        trace = Trace(addresses)
+        window = 37
+        pair = PAIR_4KB_32KB
+        result = dynamic_average_working_set(trace, pair, window)
+
+        # Brute force: for each position, recompute window contents, chunk
+        # occupancy, promotion status (pure function of the window), and
+        # the resulting working-set size in bytes.
+        blocks = [int(a) >> pair.small_shift for a in addresses]
+        total = 0
+        for position in range(len(blocks)):
+            window_blocks = set(
+                blocks[max(0, position - window + 1) : position + 1]
+            )
+            by_chunk = {}
+            for block in window_blocks:
+                by_chunk.setdefault(block // 8, set()).add(block)
+            size = 0
+            for chunk_blocks in by_chunk.values():
+                if len(chunk_blocks) >= 4:
+                    size += pair.large
+                else:
+                    size += pair.small * len(chunk_blocks)
+            total += size
+        expected = total / len(blocks)
+        assert result.average_bytes == pytest.approx(expected)
+
+    def test_empty_trace(self):
+        result = dynamic_average_working_set(Trace([]), PAIR_4KB_32KB, 10)
+        assert result.average_bytes == 0.0
+        assert result.peak_bytes == 0
+
+    def test_peak_at_least_average(self):
+        addresses = np.tile(np.arange(64, dtype=np.uint32) * PAGE_4KB, 10)
+        result = dynamic_average_working_set(
+            Trace(addresses), PAIR_4KB_32KB, window=100
+        )
+        assert result.peak_bytes >= result.average_bytes

@@ -1,0 +1,233 @@
+"""Hypothesis property tests: cross-model equivalences and invariants.
+
+Each property here relates two independently implemented components, so
+a bug in either implementation breaks the test even when both "look
+right" in isolation — the highest-leverage tests in the suite.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.policy import DynamicPromotionPolicy
+from repro.stacksim import (
+    average_working_set_pages,
+    forward_reference_gaps,
+    lru_miss_curve,
+)
+from repro.tlb import (
+    FullyAssociativeTLB,
+    IndexingScheme,
+    ProbeStrategy,
+    SetAssociativeTLB,
+    SplitTLB,
+    decode_tag,
+    encode_tag,
+)
+from repro.types import PAIR_4KB_32KB
+
+# A "two-size access" is (block, large?): the chunk is block // 8.
+two_size_accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=63), st.booleans()
+    ),
+    max_size=250,
+)
+
+block_streams = st.lists(
+    st.integers(min_value=0, max_value=63), min_size=1, max_size=300
+)
+
+
+def drive(tlb, accesses):
+    """Feed (block, large) pairs to a TLB; return the hit/miss pattern."""
+    pattern = []
+    for block, large in accesses:
+        pattern.append(tlb.access(block, block // 8, large))
+    return pattern
+
+
+class TestModelEquivalences:
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses)
+    def test_fully_assoc_equals_one_set_sa(self, accesses):
+        # A set-associative TLB with a single set must behave exactly
+        # like the fully associative model, for every indexing scheme
+        # (with one set, the index bits are vacuous).
+        for scheme in IndexingScheme:
+            sa = SetAssociativeTLB(8, 8, scheme)
+            assert drive(sa, accesses) == drive(
+                FullyAssociativeTLB(8), accesses
+            ), scheme
+
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses)
+    def test_probe_strategy_does_not_change_hits(self, accesses):
+        # Sequential reprobing costs cycles, never correctness.
+        parallel = SetAssociativeTLB(
+            16, 2, IndexingScheme.EXACT_INDEX,
+            probe_strategy=ProbeStrategy.PARALLEL,
+        )
+        sequential = SetAssociativeTLB(
+            16, 2, IndexingScheme.EXACT_INDEX,
+            probe_strategy=ProbeStrategy.SEQUENTIAL,
+        )
+        assert drive(parallel, accesses) == drive(sequential, accesses)
+        assert parallel.stats.reprobes == 0
+        if accesses:
+            assert sequential.stats.reprobes >= sequential.stats.misses
+
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses)
+    def test_indexing_schemes_agree_on_single_size_streams(self, accesses):
+        # With only small pages, SMALL_INDEX and EXACT_INDEX are the
+        # same hardware.
+        small_only = [(block, False) for block, _ in accesses]
+        small_index = SetAssociativeTLB(16, 2, IndexingScheme.SMALL_INDEX)
+        exact_index = SetAssociativeTLB(16, 2, IndexingScheme.EXACT_INDEX)
+        assert drive(small_index, small_only) == drive(
+            exact_index, small_only
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses)
+    def test_split_tlb_equals_independent_halves(self, accesses):
+        # A split TLB is literally two independent TLBs.
+        split = SplitTLB(FullyAssociativeTLB(8), FullyAssociativeTLB(4))
+        small_half = FullyAssociativeTLB(8)
+        large_half = FullyAssociativeTLB(4)
+        expected = []
+        for block, large in accesses:
+            if large:
+                expected.append(large_half.access_single(block // 8))
+            else:
+                expected.append(small_half.access_single(block))
+        assert drive(split, accesses) == expected
+
+    @settings(max_examples=40, deadline=None)
+    @given(block_streams, st.sampled_from([1, 2, 4, 8]))
+    def test_tlb_vs_stack_simulation(self, blocks, capacity):
+        # Direct model vs Mattson stack classification.
+        tlb = FullyAssociativeTLB(capacity)
+        misses = sum(0 if tlb.access_single(b) else 1 for b in blocks)
+        assert misses == lru_miss_curve(blocks, 8).misses(capacity)
+
+
+class TestTLBInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses)
+    def test_occupancy_never_exceeds_capacity(self, accesses):
+        for tlb in (
+            FullyAssociativeTLB(4),
+            SetAssociativeTLB(8, 2, IndexingScheme.EXACT_INDEX),
+            SetAssociativeTLB(8, 2, IndexingScheme.LARGE_INDEX),
+        ):
+            drive(tlb, accesses)
+            assert tlb.occupancy() <= tlb.entries
+
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses)
+    def test_accounting_identity(self, accesses):
+        tlb = SetAssociativeTLB(16, 2)
+        drive(tlb, accesses)
+        assert tlb.stats.hits + tlb.stats.misses == tlb.stats.accesses
+        assert tlb.stats.accesses == len(accesses)
+
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses)
+    def test_repeat_access_hits(self, accesses):
+        # Immediately repeating any access must hit (no replacement can
+        # evict the just-filled entry).
+        tlb = SetAssociativeTLB(16, 2)
+        for block, large in accesses:
+            tlb.access(block, block // 8, large)
+            assert tlb.access(block, block // 8, large)
+
+    @settings(max_examples=50, deadline=None)
+    @given(two_size_accesses, st.integers(min_value=0, max_value=7))
+    def test_invalidation_removes_exactly_the_chunk(self, accesses, chunk):
+        tlb = FullyAssociativeTLB(16)
+        drive(tlb, accesses)
+        tlb.invalidate_small_pages_of_chunk(chunk, 8)
+        tlb.invalidate_large_page(chunk)
+        for page, large in tlb.resident():
+            if large:
+                assert page != chunk
+            else:
+                assert page // 8 != chunk
+
+    @given(
+        st.integers(min_value=0, max_value=2**26),
+        st.booleans(),
+    )
+    def test_tag_encoding_round_trip(self, page, large):
+        assert decode_tag(encode_tag(page, large)) == (page, large)
+
+
+class TestPolicyInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(block_streams, st.integers(min_value=2, max_value=40))
+    def test_promoted_iff_occupancy_at_threshold(self, blocks, window):
+        # Without hysteresis, promotion status is a pure function of
+        # window occupancy.
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window)
+        for block in blocks:
+            policy.access_block(block)
+            chunk = block // 8
+            assert policy.is_promoted(chunk) == (
+                policy.chunk_occupancy(chunk) >= policy.promote_blocks
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(block_streams, st.integers(min_value=2, max_value=40))
+    def test_decision_size_matches_promotion_state(self, blocks, window):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window)
+        for block in blocks:
+            decision = policy.access_block(block)
+            assert decision.large == policy.is_promoted(block // 8)
+            if decision.large:
+                assert decision.page == block // 8
+            else:
+                assert decision.page == block
+
+    @settings(max_examples=40, deadline=None)
+    @given(block_streams, st.integers(min_value=2, max_value=40))
+    def test_transition_counters_match_events(self, blocks, window):
+        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, window)
+        promoted_events = 0
+        demoted_events = 0
+        for block in blocks:
+            decision = policy.access_block(block)
+            promoted_events += decision.promoted_chunk is not None
+            demoted_events += decision.demoted_chunk is not None
+        assert policy.promotions == promoted_events
+        assert policy.demotions == demoted_events
+        # A chunk can only demote after promoting.
+        assert demoted_events <= promoted_events
+
+
+class TestWorkingSetProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(block_streams)
+    def test_gaps_are_positive_and_bounded(self, blocks):
+        gaps = forward_reference_gaps(np.array(blocks))
+        assert (gaps >= 1).all()
+        assert (gaps <= len(blocks)).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(block_streams)
+    def test_ws_monotone_and_bounded(self, blocks):
+        curve = average_working_set_pages(
+            np.array(blocks), [1, 3, 10, 100, 1000]
+        )
+        values = [curve[t] for t in (1, 3, 10, 100, 1000)]
+        assert values == sorted(values)
+        assert values[0] >= 1.0  # at least the current page
+        assert values[-1] <= len(set(blocks))
+
+    @settings(max_examples=40, deadline=None)
+    @given(block_streams)
+    def test_ws_at_window_one_is_exactly_one(self, blocks):
+        curve = average_working_set_pages(np.array(blocks), [1])
+        assert curve[1] == pytest.approx(1.0)

@@ -1,0 +1,76 @@
+"""Tests for the paper-style text table renderer."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.report import TextTable
+
+
+class TestTextTable:
+    def test_basic_rendering(self):
+        table = TextTable(["Program", "CPI"], title="Demo")
+        table.add_row("li", 0.32)
+        table.add_row("espresso", 0.095)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "Program" in lines[1]
+        assert "0.320" in text
+        assert "0.095" in text
+
+    def test_numeric_columns_right_aligned(self):
+        table = TextTable(["Name", "Value"])
+        table.add_row("x", 1)
+        table.add_row("longer", 12345)
+        lines = table.render().splitlines()
+        assert lines[-1].endswith("12345")
+        assert lines[-2].endswith("    1")
+
+    def test_first_column_left_aligned(self):
+        table = TextTable(["Name", "V"])
+        table.add_row("ab", 1)
+        table.add_row("abcdef", 2)
+        lines = table.render().splitlines()
+        assert lines[-2].startswith("ab ")
+
+    def test_rule_separates_sections(self):
+        table = TextTable(["A", "B"])
+        table.add_row("x", 1).add_rule().add_row("y", 2)
+        lines = table.render().splitlines()
+        assert any(set(line.strip()) == {"-"} for line in lines[2:])
+
+    def test_float_format_override(self):
+        table = TextTable(["A", "B"], float_format="{:.1f}")
+        table.add_row("x", 2.345)
+        assert "2.3" in table.render()
+
+    def test_none_renders_as_dash(self):
+        table = TextTable(["A", "B"])
+        table.add_row("x", None)
+        assert table.render().splitlines()[-1].endswith("-")
+
+    def test_bool_renders_as_words(self):
+        table = TextTable(["A", "B"])
+        table.add_row("x", True)
+        assert "yes" in table.render()
+
+    def test_wrong_cell_count_rejected(self):
+        table = TextTable(["A", "B"])
+        with pytest.raises(ReproError):
+            table.add_row("only one")
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ReproError):
+            TextTable([])
+
+    def test_str_equals_render(self):
+        table = TextTable(["A"])
+        table.add_row("x")
+        assert str(table) == table.render()
+
+    def test_wide_cells_stretch_columns(self):
+        table = TextTable(["A", "B"])
+        table.add_row("a-very-long-name", 1)
+        header, rule, row = table.render().splitlines()
+        assert len(rule) >= len("a-very-long-name")
+        assert row.startswith("a-very-long-name")

@@ -1,0 +1,66 @@
+"""Seed robustness: the paper's qualitative results must not hinge on
+one lucky RNG stream.
+
+Each check runs the decisive comparisons at smoke scale under three
+different generator seeds.  (The benchmarks use seed 0; these tests
+guard against the calibration having overfit to it.)
+"""
+
+import pytest
+
+from repro.sim import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.sim.driver import run_single_size, run_two_sizes
+from repro.stacksim import average_working_set_bytes
+from repro.types import PAGE_4KB, PAGE_32KB
+from repro.workloads import generate_trace
+
+SEEDS = (0, 1, 2)
+LENGTH = 80_000
+WINDOW = 10_000
+
+
+@pytest.mark.parametrize("seed", SEEDS)
+class TestSignsAcrossSeeds:
+    def test_matrix300_improves_with_two_sizes(self, seed):
+        trace = generate_trace("matrix300", LENGTH, seed=seed)
+        config = TLBConfig(16, 2)
+        baseline = run_single_size(trace, SingleSizeScheme(PAGE_4KB), config)
+        (two,) = run_two_sizes(trace, TwoSizeScheme(window=WINDOW), [config])
+        assert two.cpi_tlb < baseline.cpi_tlb
+
+    def test_espresso_degrades_with_two_sizes(self, seed):
+        trace = generate_trace("espresso", LENGTH, seed=seed)
+        config = TLBConfig(16, 2)
+        baseline = run_single_size(trace, SingleSizeScheme(PAGE_4KB), config)
+        (two,) = run_two_sizes(trace, TwoSizeScheme(window=WINDOW), [config])
+        assert two.cpi_tlb > baseline.cpi_tlb
+        assert two.promotions == 0
+
+    def test_tomcatv_anomaly(self, seed):
+        trace = generate_trace("tomcatv", LENGTH, seed=seed)
+        config = TLBConfig(16, 2)
+        baseline = run_single_size(trace, SingleSizeScheme(PAGE_4KB), config)
+        (two,) = run_two_sizes(trace, TwoSizeScheme(window=WINDOW), [config])
+        assert two.cpi_tlb > 1.5 * baseline.cpi_tlb
+
+    def test_large_pages_inflate_sparse_more_than_dense(self, seed):
+        sparse = generate_trace("worm", LENGTH, seed=seed)
+        dense = generate_trace("matrix300", LENGTH, seed=seed)
+
+        def inflation(trace):
+            small = average_working_set_bytes(trace, PAGE_4KB, [WINDOW])[
+                WINDOW
+            ]
+            large = average_working_set_bytes(trace, PAGE_32KB, [WINDOW])[
+                WINDOW
+            ]
+            return large / small
+
+        assert inflation(sparse) > 1.5 * inflation(dense)
+
+    def test_32kb_cuts_fa_misses_for_dense_programs(self, seed):
+        trace = generate_trace("x11perf", LENGTH, seed=seed)
+        config = TLBConfig(16)
+        small = run_single_size(trace, SingleSizeScheme(PAGE_4KB), config)
+        large = run_single_size(trace, SingleSizeScheme(PAGE_32KB), config)
+        assert large.misses * 3 < small.misses

@@ -1,0 +1,164 @@
+"""Tests for the fully associative two-page-size TLB."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stacksim import lru_miss_curve
+from repro.tlb import (
+    FIFOReplacement,
+    FullyAssociativeTLB,
+    RandomReplacement,
+    make_replacement_policy,
+)
+
+
+class TestBasicBehaviour:
+    def test_miss_then_hit(self):
+        tlb = FullyAssociativeTLB(4)
+        assert not tlb.access_single(10)
+        assert tlb.access_single(10)
+        assert tlb.stats.accesses == 2
+        assert tlb.stats.hits == 1
+        assert tlb.stats.misses == 1
+
+    def test_lru_eviction_order(self):
+        tlb = FullyAssociativeTLB(2)
+        tlb.access_single(1)
+        tlb.access_single(2)
+        tlb.access_single(1)  # 1 becomes most recent
+        tlb.access_single(3)  # evicts 2
+        assert tlb.access_single(1)
+        assert not tlb.access_single(2)
+        assert tlb.stats.replacements >= 1
+
+    def test_capacity_bound(self):
+        tlb = FullyAssociativeTLB(8)
+        for page in range(20):
+            tlb.access_single(page)
+        assert tlb.occupancy() == 8
+
+    def test_invalid_entry_count(self):
+        with pytest.raises(ConfigurationError):
+            FullyAssociativeTLB(0)
+
+    def test_flush_preserves_stats(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.access_single(1)
+        tlb.flush()
+        assert tlb.occupancy() == 0
+        assert tlb.stats.misses == 1
+        assert not tlb.access_single(1)
+
+    def test_reset_clears_stats(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.access_single(1)
+        tlb.reset()
+        assert tlb.stats.accesses == 0
+
+
+class TestTwoPageSizes:
+    def test_page_size_is_part_of_the_tag(self):
+        # A small-page entry covers one block; a large-page entry covers
+        # the whole chunk.  The page-size bit in the tag (Section 2.1)
+        # keeps block 40's entry from matching block 41, while a large
+        # entry for their common chunk 5 matches both.
+        tlb = FullyAssociativeTLB(4)
+        assert not tlb.access(40, 5, large=False)
+        assert not tlb.access(41, 5, large=False)
+        tlb.invalidate_small_pages_of_chunk(5, 8)
+        assert not tlb.access(40, 5, large=True)
+        assert tlb.access(41, 5, large=True)
+
+    def test_entry_size_not_lookup_size_decides_the_match(self):
+        # Hit logic compares every entry using the entry's own stored
+        # size (Section 2.1): a resident small-page entry satisfies a
+        # reference even if the policy now assigns the chunk a large
+        # page — which is why promotion must shoot down stale entries.
+        tlb = FullyAssociativeTLB(4)
+        tlb.access(40, 5, large=False)
+        assert tlb.access(40, 5, large=True)  # stale small entry matches
+        tlb.invalidate_small_pages_of_chunk(5, 8)
+        assert not tlb.access(40, 5, large=True)  # now it is gone
+
+    def test_large_entry_covers_whole_chunk(self):
+        tlb = FullyAssociativeTLB(4)
+        # Any reference assigned to large-page chunk 3 uses tag (3, large),
+        # whatever its block number.
+        assert not tlb.access(24, 3, large=True)
+        assert tlb.access(25, 3, large=True)
+        assert tlb.access(31, 3, large=True)
+
+    def test_large_hit_accounting(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.access(8, 1, large=True)
+        tlb.access(9, 1, large=True)
+        assert tlb.stats.large_misses == 1
+        assert tlb.stats.large_hits == 1
+
+    def test_promotion_invalidates_small_pages(self):
+        tlb = FullyAssociativeTLB(8)
+        for block in range(8, 12):  # blocks of chunk 1
+            tlb.access(block, 1, large=False)
+        tlb.access(100, 12, large=False)  # unrelated entry
+        removed = tlb.invalidate_small_pages_of_chunk(1, 8)
+        assert removed == 4
+        assert tlb.stats.invalidations == 4
+        assert tlb.access(100, 12, large=False)  # unrelated entry survives
+        assert not tlb.access(8, 1, large=True)  # chunk refills as large
+
+    def test_demotion_invalidates_large_page(self):
+        tlb = FullyAssociativeTLB(4)
+        tlb.access(8, 1, large=True)
+        removed = tlb.invalidate_large_page(1)
+        assert removed == 1
+        assert not tlb.access(8, 1, large=False)
+
+
+class TestAgainstStackSimulation:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), max_size=400),
+        st.sampled_from([1, 2, 4, 8, 16]),
+    )
+    def test_single_size_matches_mattson(self, pages, capacity):
+        tlb = FullyAssociativeTLB(capacity)
+        misses = sum(0 if tlb.access_single(page) else 1 for page in pages)
+        curve = lru_miss_curve(pages, max_capacity=16)
+        assert misses == curve.misses(capacity)
+
+    def test_long_random_stream(self):
+        rng = np.random.default_rng(17)
+        pages = rng.integers(0, 60, size=5000).tolist()
+        tlb = FullyAssociativeTLB(16)
+        misses = sum(0 if tlb.access_single(page) else 1 for page in pages)
+        assert misses == lru_miss_curve(pages, max_capacity=16).misses(16)
+
+
+class TestReplacementPolicies:
+    def test_fifo_does_not_promote_on_hit(self):
+        tlb = FullyAssociativeTLB(2, replacement=FIFOReplacement())
+        tlb.access_single(1)
+        tlb.access_single(2)
+        tlb.access_single(1)  # hit, but 1 stays oldest under FIFO
+        tlb.access_single(3)  # evicts 1
+        assert not tlb.access_single(1)
+
+    def test_random_is_deterministic_under_seed(self):
+        def run(seed):
+            tlb = FullyAssociativeTLB(4, replacement=RandomReplacement(seed))
+            rng = np.random.default_rng(5)
+            pages = rng.integers(0, 12, size=300)
+            return [tlb.access_single(int(page)) for page in pages]
+
+        assert run(1) == run(1)
+
+    def test_factory(self):
+        assert make_replacement_policy("lru").name == "lru"
+        assert make_replacement_policy("fifo").name == "fifo"
+        assert make_replacement_policy("random", seed=3).name == "random"
+        assert make_replacement_policy("plru").name == "plru"
+        with pytest.raises(ConfigurationError):
+            make_replacement_policy("belady")

@@ -1,0 +1,210 @@
+"""Tests for the set-associative TLB and its three indexing schemes.
+
+The scenarios mirror Section 2.2's worked examples on the 16-bit address
+space of Figure 2.1: 4KB small pages, 32KB large pages, two-entry
+direct-mapped TLBs indexed three different ways.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stacksim import per_set_miss_curve
+from repro.tlb import (
+    FullyAssociativeTLB,
+    IndexingScheme,
+    ProbeStrategy,
+    SetAssociativeTLB,
+)
+
+
+def direct_mapped(sets, scheme, **kwargs):
+    return SetAssociativeTLB(sets, 1, scheme, **kwargs)
+
+
+class TestGeometry:
+    def test_sets_and_ways(self):
+        tlb = SetAssociativeTLB(16, 2)
+        assert tlb.sets == 8
+        assert tlb.associativity == 2
+
+    def test_associativity_must_divide_entries(self):
+        with pytest.raises(ConfigurationError):
+            SetAssociativeTLB(16, 3)
+
+    def test_repr_mentions_geometry(self):
+        text = repr(SetAssociativeTLB(16, 2))
+        assert "entries=16" in text and "assoc=2" in text
+
+
+class TestSmallIndexScheme:
+    """Indexing by the small page number: broken for large pages."""
+
+    def test_single_size_behaviour_is_conventional(self):
+        # With only small pages this is the ordinary TLB indexed by the
+        # low page-number bits.
+        tlb = direct_mapped(2, IndexingScheme.SMALL_INDEX)
+        assert not tlb.access_single(0)  # set 0
+        assert not tlb.access_single(1)  # set 1
+        assert tlb.access_single(0)
+        assert tlb.access_single(1)
+
+    def test_large_page_scatters_across_sets(self):
+        # Figure 2.1(a): one large page; accesses differing in bit<12>
+        # index different sets, so the page occupies *both* entries.
+        tlb = direct_mapped(2, IndexingScheme.SMALL_INDEX)
+        # chunk 0, block 0 -> set 0; chunk 0, block 1 -> set 1.
+        assert not tlb.access(0, 0, large=True)
+        assert not tlb.access(1, 0, large=True)  # same large page misses again
+        resident = list(tlb.resident())
+        assert resident == [(0, True), (0, True)]  # duplicated entry
+
+    def test_duplicate_large_entries_hit_after_fill(self):
+        tlb = direct_mapped(2, IndexingScheme.SMALL_INDEX)
+        tlb.access(0, 0, large=True)
+        tlb.access(1, 0, large=True)
+        assert tlb.access(0, 0, large=True)
+        assert tlb.access(1, 0, large=True)
+
+    def test_demotion_removes_all_duplicates(self):
+        tlb = direct_mapped(4, IndexingScheme.SMALL_INDEX)
+        for block in range(4):
+            tlb.access(block, 0, large=True)
+        assert tlb.invalidate_large_page(0) == 4
+
+
+class TestLargeIndexScheme:
+    """Indexing by the large page number: small pages of a chunk collide."""
+
+    def test_small_pages_of_one_chunk_share_a_set(self):
+        # Figure 2.1(b): blocks 0..7 (all in chunk 0) all index set 0 of a
+        # two-entry direct-mapped TLB, evicting one another.
+        tlb = direct_mapped(2, IndexingScheme.LARGE_INDEX)
+        for block in range(8):
+            assert not tlb.access(block, 0, large=False)
+        # Even an immediate re-access of an earlier block misses: the set
+        # holds only the last block (7), which block 0 then evicts.
+        assert not tlb.access(0, 0, large=False)
+        assert not tlb.access(7, 0, large=False)
+        # Set 1 was never touched: a block of chunk 1 still cold-misses
+        # but does not disturb set 0's occupant.
+        assert not tlb.access(8, 1, large=False)
+        assert tlb.access(7, 0, large=False)
+
+    def test_associativity_mitigates_chunk_collisions(self):
+        # Section 2.2(c): with eight ways, all eight blocks of a chunk
+        # can reside in their common set simultaneously.
+        tlb = SetAssociativeTLB(8, 8, IndexingScheme.LARGE_INDEX)
+        for block in range(8):
+            tlb.access(block, 0, large=False)
+        for block in range(8):
+            assert tlb.access(block, 0, large=False)
+
+    def test_large_pages_behave_like_a_plain_large_page_tlb(self):
+        tlb = direct_mapped(2, IndexingScheme.LARGE_INDEX)
+        assert not tlb.access(0, 0, large=True)
+        assert not tlb.access(8, 1, large=True)
+        assert tlb.access(5, 0, large=True)
+        assert tlb.access(13, 1, large=True)
+
+    def test_sequential_scan_touches_one_set(self):
+        # Section 2.2(b): a sequential scan of small pages overwrites
+        # only the chunk's set, leaving the rest of the TLB intact.
+        tlb = SetAssociativeTLB(4, 1, IndexingScheme.LARGE_INDEX)
+        tlb.access(100 * 8, 100, large=True)  # chunk 100 -> set 0
+        tlb.access(101 * 8, 101, large=True)  # chunk 101 -> set 1
+        # Scan the eight blocks of chunk 3 -> all land in set 3.
+        for block in range(24, 32):
+            tlb.access(block, 3, large=False)
+        assert tlb.access(100 * 8, 100, large=True)
+        assert tlb.access(101 * 8, 101, large=True)
+
+
+class TestExactIndexScheme:
+    """Indexing by the exact page number: both candidate sets probed."""
+
+    def test_small_and_large_use_their_own_bits(self):
+        tlb = direct_mapped(2, IndexingScheme.EXACT_INDEX)
+        # Small block 2 -> set 0; large chunk 1 -> set 1: no conflict.
+        assert not tlb.access(2, 0, large=False)
+        assert not tlb.access(9, 1, large=True)
+        assert tlb.access(2, 0, large=False)
+        assert tlb.access(9, 1, large=True)
+
+    def test_large_entry_found_from_any_block(self):
+        tlb = direct_mapped(4, IndexingScheme.EXACT_INDEX)
+        tlb.access(8, 1, large=True)
+        for block in range(8, 16):
+            assert tlb.access(block, 1, large=True)
+
+    def test_parallel_probe_counts_no_reprobes(self):
+        tlb = direct_mapped(
+            4, IndexingScheme.EXACT_INDEX, probe_strategy=ProbeStrategy.PARALLEL
+        )
+        tlb.access(0, 0, large=True)
+        tlb.access(1, 0, large=True)
+        assert tlb.stats.reprobes == 0
+
+    def test_sequential_probe_counts_reprobes(self):
+        tlb = direct_mapped(
+            4, IndexingScheme.EXACT_INDEX, probe_strategy=ProbeStrategy.SEQUENTIAL
+        )
+        tlb.access(0, 0, large=True)  # miss: probes small then large -> 1
+        tlb.access(1, 0, large=True)  # large hit on second probe -> 1
+        tlb.access(64, 8, large=False)  # small miss: reprobe before fill -> 1
+        tlb.access(64, 8, large=False)  # small hit on first probe -> 0
+        assert tlb.stats.reprobes == 3
+
+    def test_mixed_sizes_coexist_in_one_set(self):
+        # Block 1 (small) and chunk 1 (large) both index set 1 of a
+        # two-set TLB; the size bit in the tag keeps them distinct.
+        tlb = SetAssociativeTLB(4, 2, IndexingScheme.EXACT_INDEX)
+        assert not tlb.access(1, 0, large=False)
+        assert not tlb.access(9, 1, large=True)
+        assert tlb.access(1, 0, large=False)
+        assert tlb.access(9, 1, large=True)
+
+
+class TestSingleSizeEquivalence:
+    """With one page size, SMALL_INDEX equals a conventional TLB."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=63), max_size=300),
+        st.sampled_from([(4, 1), (8, 2), (16, 2), (16, 4)]),
+    )
+    def test_matches_per_set_stack_simulation(self, pages, geometry):
+        entries, ways = geometry
+        sets = entries // ways
+        tlb = SetAssociativeTLB(entries, ways, IndexingScheme.SMALL_INDEX)
+        misses = sum(0 if tlb.access_single(page) else 1 for page in pages)
+        indices = [page & (sets - 1) for page in pages]
+        curve = per_set_miss_curve(indices, pages, max_associativity=ways)
+        assert misses == curve.misses(ways)
+
+    def test_one_set_equals_fully_associative(self):
+        rng = np.random.default_rng(9)
+        pages = rng.integers(0, 30, size=2000).tolist()
+        sa = SetAssociativeTLB(8, 8, IndexingScheme.SMALL_INDEX)
+        fa = FullyAssociativeTLB(8)
+        sa_misses = sum(0 if sa.access_single(page) else 1 for page in pages)
+        fa_misses = sum(0 if fa.access_single(page) else 1 for page in pages)
+        assert sa_misses == fa_misses
+
+    def test_all_large_degenerates_to_large_page_tlb(self):
+        # Section 2.2: "If only 32KB pages are used, [large index]
+        # degenerates to a TLB supporting 32KB pages only."
+        rng = np.random.default_rng(13)
+        chunks = rng.integers(0, 20, size=1500).tolist()
+        two_size = SetAssociativeTLB(8, 2, IndexingScheme.LARGE_INDEX)
+        misses = sum(
+            0 if two_size.access(chunk * 8, chunk, large=True) else 1
+            for chunk in chunks
+        )
+        plain = SetAssociativeTLB(8, 2, IndexingScheme.SMALL_INDEX)
+        plain_misses = sum(
+            0 if plain.access_single(chunk) else 1 for chunk in chunks
+        )
+        assert misses == plain_misses

@@ -1,0 +1,106 @@
+"""Tests for the split per-page-size TLB (Section 2.2, option c)."""
+
+import numpy as np
+
+from repro.tlb import (
+    FullyAssociativeTLB,
+    IndexingScheme,
+    SetAssociativeTLB,
+    SplitTLB,
+)
+
+
+def make_split(small_entries=8, large_entries=4):
+    return SplitTLB(
+        FullyAssociativeTLB(small_entries), FullyAssociativeTLB(large_entries)
+    )
+
+
+class TestRouting:
+    def test_small_references_go_to_small_tlb(self):
+        split = make_split()
+        split.access(10, 1, large=False)
+        assert split.small_tlb.occupancy() == 1
+        assert split.large_tlb.occupancy() == 0
+
+    def test_large_references_go_to_large_tlb(self):
+        split = make_split()
+        split.access(10, 1, large=True)
+        assert split.large_tlb.occupancy() == 1
+        assert split.small_tlb.occupancy() == 0
+
+    def test_sizes_never_conflict(self):
+        split = make_split(small_entries=1, large_entries=1)
+        split.access(5, 0, large=False)
+        split.access(99, 12, large=True)
+        assert split.access(5, 0, large=False)
+        assert split.access(96, 12, large=True)
+
+    def test_aggregate_statistics(self):
+        split = make_split()
+        split.access(1, 0, large=False)
+        split.access(1, 0, large=False)
+        split.access(8, 1, large=True)
+        assert split.stats.accesses == 3
+        assert split.stats.hits == 1
+        assert split.stats.misses == 2
+        assert split.stats.large_misses == 1
+
+    def test_unused_large_tlb_is_wasted_hardware(self):
+        # The paper's criticism: with no large pages allocated, the large
+        # component sits idle while the small one takes all the pressure.
+        split = make_split(small_entries=2, large_entries=16)
+        rng = np.random.default_rng(3)
+        for page in rng.integers(0, 50, size=500):
+            split.access(int(page), int(page) // 8, large=False)
+        assert split.large_tlb.occupancy() == 0
+        assert split.stats.miss_ratio > 0.5
+
+
+class TestInvalidation:
+    def test_promotion_shootdown(self):
+        split = make_split()
+        for block in range(8, 12):
+            split.access(block, 1, large=False)
+        removed = split.invalidate_small_pages_of_chunk(1, 8)
+        assert removed == 4
+        assert split.small_tlb.occupancy() == 0
+        assert split.stats.invalidations == 4
+
+    def test_demotion_shootdown(self):
+        split = make_split()
+        split.access(8, 1, large=True)
+        split.access(16, 2, large=True)
+        removed = split.invalidate_large_page(1)
+        assert removed == 1
+        assert split.large_tlb.occupancy() == 1
+        assert not split.access(8, 1, large=False)
+
+    def test_flush_and_reset(self):
+        split = make_split()
+        split.access(1, 0, large=False)
+        split.access(8, 1, large=True)
+        split.flush()
+        assert split.occupancy() == 0
+        assert split.stats.accesses == 2
+        split.reset()
+        assert split.stats.accesses == 0
+
+
+class TestComposition:
+    def test_set_associative_components(self):
+        split = SplitTLB(
+            SetAssociativeTLB(8, 2, IndexingScheme.SMALL_INDEX),
+            FullyAssociativeTLB(4),
+        )
+        split.access(12, 1, large=False)
+        assert split.access(12, 1, large=False)
+        split.access(8, 1, large=True)
+        assert split.access(9, 1, large=True)
+
+    def test_resident_reports_sizes(self):
+        split = make_split()
+        split.access(3, 0, large=False)
+        split.access(8, 1, large=True)
+        resident = set(split.resident())
+        assert resident == {(3, False), (1, True)}

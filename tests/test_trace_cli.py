@@ -1,0 +1,96 @@
+"""Tests for the repro-trace command-line tool."""
+
+import pytest
+
+from repro.trace import read_trace
+from repro.trace.cli import main
+
+
+class TestGenerate:
+    def test_generate_binary(self, tmp_path, capsys):
+        path = tmp_path / "li.rpt"
+        code = main(["generate", "li", str(path), "--length", "5000"])
+        assert code == 0
+        trace = read_trace(path)
+        assert len(trace) == 5000
+        assert trace.name == "li"
+        assert "wrote 5,000 references" in capsys.readouterr().out
+
+    def test_generate_text(self, tmp_path):
+        path = tmp_path / "li.din"
+        assert main(["generate", "li", str(path), "--length", "100"]) == 0
+        assert path.read_text().count("\n") == 100
+
+    def test_unknown_workload_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["generate", "gcc", str(tmp_path / "x.rpt")])
+
+
+class TestInfo:
+    def test_info_reports_statistics(self, tmp_path, capsys):
+        path = tmp_path / "t.rpt"
+        main(["generate", "espresso", str(path), "--length", "20000"])
+        capsys.readouterr()
+        assert main(["info", str(path), "--window", "5000"]) == 0
+        out = capsys.readouterr().out
+        assert "references:      20,000" in out
+        assert "footprint:" in out
+        assert "working set:" in out
+
+    def test_info_missing_file(self, capsys):
+        assert main(["info", "/nonexistent/trace.rpt"]) == 1
+        assert "repro-trace:" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_binary_text_round_trip(self, tmp_path, capsys):
+        binary = tmp_path / "t.rpt"
+        text = tmp_path / "t.din"
+        back = tmp_path / "back.rpt"
+        main(["generate", "li", str(binary), "--length", "500"])
+        assert main(["convert", str(binary), str(text)]) == 0
+        assert main(["convert", str(text), str(back)]) == 0
+        original = read_trace(binary)
+        converted = read_trace(back)
+        assert (original.addresses == converted.addresses).all()
+        assert (original.kinds == converted.kinds).all()
+
+
+class TestMix:
+    def test_mix_two_traces(self, tmp_path, capsys):
+        first = tmp_path / "a.rpt"
+        second = tmp_path / "b.rpt"
+        out = tmp_path / "mix.rpt"
+        main(["generate", "espresso", str(first), "--length", "1000"])
+        main(["generate", "worm", str(second), "--length", "1000"])
+        capsys.readouterr()
+        code = main(
+            ["mix", str(first), str(second), "--output", str(out),
+             "--quantum", "250"]
+        )
+        assert code == 0
+        mixed = read_trace(out)
+        assert len(mixed) == 2000
+        assert mixed.name == "mix(espresso,worm)"
+
+    def test_mix_reports_stride_overflow(self, tmp_path, capsys):
+        # li's stack sits near the top of the 32-bit space, so it cannot
+        # be offset by the default stride; the CLI reports rather than
+        # crashes, and --stride can widen the slices (two contexts max).
+        first = tmp_path / "a.rpt"
+        second = tmp_path / "b.rpt"
+        out = tmp_path / "mix.rpt"
+        main(["generate", "li", str(first), "--length", "200"])
+        main(["generate", "worm", str(second), "--length", "200"])
+        capsys.readouterr()
+        assert (
+            main(["mix", str(first), str(second), "--output", str(out)]) == 1
+        )
+        assert "repro-trace:" in capsys.readouterr().err
+        assert (
+            main(
+                ["mix", str(second), str(first), "--output", str(out),
+                 "--stride", str(1 << 31)]
+            )
+            == 0
+        )

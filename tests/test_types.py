@@ -1,0 +1,120 @@
+"""Tests for repro.types: page-size math and the PageSizePair invariants."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import PageSizeError
+from repro.types import (
+    KB,
+    MB,
+    PAGE_4KB,
+    PAGE_8KB,
+    PAGE_32KB,
+    PAIR_4KB_32KB,
+    PageSizePair,
+    format_size,
+    is_power_of_two,
+    log2_exact,
+    validate_page_size,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers_are_recognised(self):
+        for exponent in range(31):
+            assert is_power_of_two(1 << exponent)
+
+    def test_non_powers_are_rejected(self):
+        for value in (0, -1, -4096, 3, 6, 4095, 4097, 12 * KB):
+            assert not is_power_of_two(value)
+
+    def test_log2_exact_round_trips(self):
+        for exponent in range(1, 31):
+            assert log2_exact(1 << exponent) == exponent
+
+    def test_log2_exact_rejects_non_powers(self):
+        with pytest.raises(PageSizeError):
+            log2_exact(3)
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_is_power_of_two_matches_bit_count(self, value):
+        assert is_power_of_two(value) == (bin(value).count("1") == 1)
+
+
+class TestValidatePageSize:
+    def test_accepts_paper_page_sizes(self):
+        for size in (PAGE_4KB, PAGE_8KB, PAGE_32KB, 64 * KB, MB):
+            assert validate_page_size(size) == size
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(PageSizeError):
+            validate_page_size(3 * KB)
+
+    def test_rejects_tiny_sizes(self):
+        with pytest.raises(PageSizeError):
+            validate_page_size(256)
+
+    def test_rejects_sizes_beyond_address_space(self):
+        with pytest.raises(PageSizeError):
+            validate_page_size(1 << 32)
+
+
+class TestPageSizePair:
+    def test_paper_primary_pair(self):
+        pair = PAIR_4KB_32KB
+        assert pair.small == 4 * KB
+        assert pair.large == 32 * KB
+        assert pair.blocks_per_chunk == 8
+        assert pair.small_shift == 12
+        assert pair.large_shift == 15
+        assert str(pair) == "4KB/32KB"
+
+    def test_rejects_large_not_exceeding_small(self):
+        with pytest.raises(PageSizeError):
+            PageSizePair(PAGE_32KB, PAGE_4KB)
+        with pytest.raises(PageSizeError):
+            PageSizePair(PAGE_4KB, PAGE_4KB)
+
+    def test_rejects_non_power_of_two_members(self):
+        with pytest.raises(PageSizeError):
+            PageSizePair(3 * KB, PAGE_32KB)
+        with pytest.raises(PageSizeError):
+            PageSizePair(PAGE_4KB, 24 * KB)
+
+    def test_chunk_and_block_decomposition(self):
+        pair = PAIR_4KB_32KB
+        # Address in chunk 2, block 5 of that chunk (Figure 2.1 numbering).
+        address = 2 * pair.large + 5 * pair.small + 123
+        assert pair.chunk_of(address) == 2
+        assert pair.block_of(address) == 2 * 8 + 5
+        assert pair.block_within_chunk(address) == 5
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_block_chunk_consistency(self, address):
+        pair = PAIR_4KB_32KB
+        block = pair.block_of(address)
+        assert block // pair.blocks_per_chunk == pair.chunk_of(address)
+        assert block % pair.blocks_per_chunk == pair.block_within_chunk(address)
+
+    def test_pair_is_hashable_and_frozen(self):
+        pair = PageSizePair(PAGE_4KB, PAGE_32KB)
+        assert pair == PAIR_4KB_32KB
+        assert hash(pair) == hash(PAIR_4KB_32KB)
+        with pytest.raises(AttributeError):
+            pair.small = PAGE_8KB
+
+
+class TestFormatSize:
+    def test_kb_values(self):
+        assert format_size(4 * KB) == "4KB"
+        assert format_size(32 * KB) == "32KB"
+        assert format_size(1.5 * KB) == "1.5KB"
+
+    def test_mb_values(self):
+        assert format_size(MB) == "1MB"
+        assert format_size(2.5 * MB) == "2.5MB"
+
+    def test_boundary_is_mb(self):
+        assert format_size(MB).endswith("MB")
+        assert format_size(MB - 1).endswith("KB")

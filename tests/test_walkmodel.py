@@ -1,0 +1,67 @@
+"""Tests for the walk-derived miss-penalty model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mem import (
+    Translation,
+    TwoPageSizePageTable,
+    WalkCycleModel,
+    measure_walk_costs,
+)
+from repro.types import PAGE_4KB, PAGE_32KB
+
+
+class TestWalkCycleModel:
+    def test_default_costs_bracket_the_paper_estimate(self):
+        # Small miss 24 cycles, large miss 28: the paper's flat 25-cycle
+        # two-size penalty is the blend.
+        model = WalkCycleModel()
+        assert model.small_page_cost() == 24.0
+        assert model.large_page_cost() == 28.0
+        assert model.small_page_cost() < 25.0 < model.large_page_cost()
+
+    def test_cost_uses_walk_touches(self):
+        model = WalkCycleModel(trap_cycles=10, cycles_per_touch=5)
+        assert model.cost(Translation(0, PAGE_4KB, 2)) == 20.0
+        assert model.cost(Translation(0, PAGE_32KB, 3)) == 25.0
+
+    def test_blended_factor_endpoints(self):
+        model = WalkCycleModel()
+        assert model.blended_factor(0.0) == pytest.approx(1.0)
+        assert model.blended_factor(1.0) == pytest.approx(28.0 / 24.0)
+
+    def test_blended_factor_monotone(self):
+        model = WalkCycleModel()
+        factors = [model.blended_factor(f / 10) for f in range(11)]
+        assert factors == sorted(factors)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ConfigurationError):
+            WalkCycleModel(trap_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            WalkCycleModel().blended_factor(1.5)
+
+
+class TestMeasureWalkCosts:
+    def test_small_and_large_walks_priced_differently(self):
+        table = TwoPageSizePageTable()
+        table.map_small(0, 0)
+        table.map_large(1, PAGE_32KB)
+        model = WalkCycleModel()
+        small_cost = measure_walk_costs(table, [0x10], model)
+        large_cost = measure_walk_costs(table, [PAGE_32KB + 0x10], model)
+        assert small_cost == model.small_page_cost()
+        assert large_cost == model.large_page_cost()
+
+    def test_unmapped_address_costs_full_failed_walk(self):
+        table = TwoPageSizePageTable()
+        cost = measure_walk_costs(table, [0x123456], WalkCycleModel())
+        assert cost == 28.0
+
+    def test_totals_accumulate(self):
+        table = TwoPageSizePageTable()
+        table.map_small(0, 0)
+        model = WalkCycleModel()
+        total = measure_walk_costs(table, [0x0, 0x4, 0x8], model)
+        assert total == 3 * model.small_page_cost()

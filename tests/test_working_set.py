@@ -1,0 +1,126 @@
+"""Tests for the Slutz-Traiger working-set calculation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.stacksim import (
+    average_working_set_bytes,
+    average_working_set_pages,
+    forward_reference_gaps,
+    naive_average_working_set_pages,
+)
+from repro.trace import Trace
+from repro.types import PAGE_4KB, PAGE_32KB
+
+
+def brute_force_average(pages, window):
+    """Literal Denning definition: count distinct pages per window."""
+    total = 0
+    for position in range(len(pages)):
+        start = max(0, position - window + 1)
+        total += len(set(pages[start : position + 1]))
+    return total / len(pages) if pages else 0.0
+
+
+class TestForwardGaps:
+    def test_simple_sequence(self):
+        gaps = forward_reference_gaps(np.array([1, 2, 1, 2]))
+        # page 1 at 0 next used at 2 (gap 2); page 2 at 1 next at 3 (gap 2);
+        # final uses run to the end of the 4-reference trace.
+        assert gaps.tolist() == [2, 2, 2, 1]
+
+    def test_all_distinct(self):
+        gaps = forward_reference_gaps(np.array([5, 6, 7]))
+        assert gaps.tolist() == [3, 2, 1]
+
+    def test_empty(self):
+        assert forward_reference_gaps(np.array([], dtype=np.int64)).size == 0
+
+    def test_gap_sum_bounds(self):
+        # Sum of gaps equals sum over pages of (k - first_occurrence),
+        # because consecutive gaps for one page telescope to the trace end.
+        pages = np.array([3, 3, 4, 3, 4, 5])
+        gaps = forward_reference_gaps(pages)
+        first = {3: 0, 4: 2, 5: 5}
+        expected = sum(len(pages) - position for position in first.values())
+        assert int(gaps.sum()) == expected
+
+
+class TestAverageWorkingSet:
+    def test_single_page_program(self):
+        pages = np.array([9] * 100)
+        result = average_working_set_pages(pages, [10])
+        assert result[10] == pytest.approx(1.0)
+
+    def test_distinct_pages_window_one(self):
+        # With T=1 the working set is always exactly one page.
+        pages = np.array([1, 2, 3, 4, 5])
+        assert average_working_set_pages(pages, [1])[1] == pytest.approx(1.0)
+
+    def test_window_covering_whole_trace(self):
+        # With T >= k, w(t) is the number of distinct pages seen so far.
+        pages = np.array([1, 2, 3])
+        # w = 1, 2, 3 -> average 2.
+        assert average_working_set_pages(pages, [100])[100] == pytest.approx(2.0)
+
+    def test_monotone_in_window(self):
+        rng = np.random.default_rng(11)
+        pages = rng.integers(0, 50, size=3000)
+        curve = average_working_set_pages(pages, [1, 10, 100, 1000])
+        values = [curve[1], curve[10], curve[100], curve[1000]]
+        assert values == sorted(values)
+
+    def test_matches_naive_sliding_window(self):
+        rng = np.random.default_rng(5)
+        pages = rng.integers(0, 30, size=800)
+        for window in (1, 7, 50, 400):
+            fast = average_working_set_pages(pages, [window])[window]
+            slow = naive_average_working_set_pages(pages, window)
+            assert fast == pytest.approx(slow)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=12), min_size=1, max_size=120),
+        st.integers(min_value=1, max_value=150),
+    )
+    def test_matches_brute_force(self, pages, window):
+        fast = average_working_set_pages(np.array(pages), [window])[window]
+        assert fast == pytest.approx(brute_force_average(pages, window))
+
+    def test_empty_trace(self):
+        assert average_working_set_pages(np.array([], dtype=np.int64), [5]) == {
+            5: 0.0
+        }
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            average_working_set_pages(np.array([1]), [0])
+        with pytest.raises(ConfigurationError):
+            naive_average_working_set_pages([1], -3)
+
+
+class TestAverageWorkingSetBytes:
+    def test_scales_with_page_size(self):
+        # One address per 4KB page inside one 32KB chunk: at 4KB the
+        # working set counts each page, at 32KB it is a single page.
+        addresses = np.arange(8, dtype=np.uint32) * PAGE_4KB
+        trace = Trace(np.tile(addresses, 50))
+        small = average_working_set_bytes(trace, PAGE_4KB, [8])[8]
+        large = average_working_set_bytes(trace, PAGE_32KB, [8])[8]
+        assert large == pytest.approx(PAGE_32KB)
+        assert small <= 8 * PAGE_4KB
+        # Spatially dense access: the 32KB measurement equals total memory,
+        # the 4KB one approaches it from below.
+        assert large <= small * 8
+
+    def test_sparse_access_inflates_large_pages(self):
+        # One hot address per 32KB chunk: 4KB pages charge 4KB each,
+        # 32KB pages charge 32KB each -> exactly 8x inflation.
+        addresses = np.arange(16, dtype=np.uint32) * PAGE_32KB
+        trace = Trace(np.tile(addresses, 100))
+        small = average_working_set_bytes(trace, PAGE_4KB, [16])[16]
+        large = average_working_set_bytes(trace, PAGE_32KB, [16])[16]
+        assert large / small == pytest.approx(8.0)

@@ -1,0 +1,169 @@
+"""Tests for the twelve program models and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.stacksim import average_working_set_bytes
+from repro.trace import KIND_IFETCH, KIND_STORE, compute_statistics
+from repro.types import KB, MB, PAGE_4KB
+from repro.workloads import (
+    CATEGORY_LARGE,
+    CATEGORY_SMALL,
+    WORKLOAD_ORDER,
+    all_workloads,
+    cached_trace,
+    generate_trace,
+    get_workload,
+    workload_names,
+)
+
+
+class TestRegistry:
+    def test_twelve_workloads_in_paper_order(self):
+        names = workload_names()
+        assert len(names) == 12
+        assert names[0] == "li"
+        assert names[-1] == "verilog"
+        assert names.index("eqntott") < names.index("worm")  # small before large
+
+    def test_get_workload(self):
+        assert get_workload("matrix300").name == "matrix300"
+        with pytest.raises(WorkloadError):
+            get_workload("gcc")
+
+    def test_all_workloads_order_matches(self):
+        assert [w.name for w in all_workloads()] == list(WORKLOAD_ORDER)
+
+    def test_category_split(self):
+        small = [w.name for w in all_workloads() if w.category == CATEGORY_SMALL]
+        large = [w.name for w in all_workloads() if w.category == CATEGORY_LARGE]
+        assert small == ["li", "espresso", "fpppp", "doduc", "x11perf", "eqntott"]
+        assert large == ["worm", "nasa7", "xnews", "matrix300", "tomcatv", "verilog"]
+
+    def test_metadata_present(self):
+        for workload in all_workloads():
+            assert workload.description
+            assert 1.0 < workload.refs_per_instruction < 2.0
+            assert workload.nominal_footprint > 0
+
+
+class TestGeneration:
+    def test_deterministic_under_seed(self):
+        one = generate_trace("li", 5000, seed=7)
+        two = generate_trace("li", 5000, seed=7)
+        assert one == two
+
+    def test_different_seeds_differ(self):
+        one = generate_trace("li", 5000, seed=1)
+        two = generate_trace("li", 5000, seed=2)
+        assert one != two
+
+    def test_requested_length(self):
+        for length in (0, 1, 1234):
+            assert len(generate_trace("espresso", length)) == length
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_trace("li", -1)
+
+    def test_trace_carries_metadata(self):
+        trace = generate_trace("matrix300", 100)
+        assert trace.name == "matrix300"
+        assert trace.refs_per_instruction == 1.50
+
+    def test_all_workloads_generate(self):
+        for workload in all_workloads():
+            trace = workload.generate(2000, seed=3)
+            assert len(trace) == 2000
+
+    def test_mixes_instruction_and_data(self):
+        for name in ("li", "matrix300", "worm"):
+            trace = generate_trace(name, 20_000, seed=0)
+            stats = compute_statistics(trace)
+            assert stats.ifetch_count > 0.2 * stats.length
+            assert stats.load_count > 0
+            assert stats.store_count > 0
+
+
+class TestLocalityShapes:
+    """Each model must exhibit the archetype its program is known for."""
+
+    def test_matrix300_has_dense_multi_megabyte_footprint(self):
+        trace = generate_trace("matrix300", 400_000, seed=0)
+        stats = compute_statistics(trace)
+        assert stats.footprint_bytes > 1.5 * MB
+
+    def test_espresso_footprint_is_small(self):
+        trace = generate_trace("espresso", 200_000, seed=0)
+        stats = compute_statistics(trace)
+        assert stats.footprint_bytes < MB
+
+    def test_worm_hot_blocks_are_chunk_scattered(self):
+        # The promotion-starved shape: warm chunks stay below 4 blocks.
+        trace = generate_trace("worm", 100_000, seed=0)
+        data = trace.addresses[trace.kinds != KIND_IFETCH]
+        heap = data[data >= 4 * MB]
+        chunks = heap // (32 * KB)
+        blocks = heap // PAGE_4KB
+        by_chunk = {}
+        for chunk, block in zip(chunks.tolist(), blocks.tolist()):
+            by_chunk.setdefault(chunk, set()).add(block)
+        densities = [len(blocks_seen) for blocks_seen in by_chunk.values()]
+        # Warm chunks stay far below the promote-at-4 threshold.
+        assert np.mean(densities) <= 3.0
+        assert max(densities) <= 3
+
+    def test_x11perf_pixmap_chunks_are_dense(self):
+        trace = generate_trace("x11perf", 200_000, seed=0)
+        data = trace.addresses[trace.kinds != KIND_IFETCH]
+        pixmap = data[data >= 8 * MB]
+        chunks = pixmap // (32 * KB)
+        blocks = pixmap // PAGE_4KB
+        by_chunk = {}
+        for chunk, block in zip(chunks.tolist(), blocks.tolist()):
+            by_chunk.setdefault(chunk, set()).add(block)
+        densities = [len(blocks_seen) for blocks_seen in by_chunk.values()]
+        assert np.mean(densities) > 6.0
+
+    def test_x11perf_writes_heavily(self):
+        # With ~74% instruction fetches, the pixmap stores are a modest
+        # but clearly-present share of all references.
+        trace = generate_trace("x11perf", 50_000, seed=0)
+        stats = compute_statistics(trace)
+        assert stats.store_count > 0.05 * stats.length
+
+    def test_working_set_ordering_within_categories(self):
+        # The paper orders each category by ascending working set; check
+        # the extremes rather than every neighbour (models are noisy).
+        window = 50_000
+        sizes = {}
+        for name in ("li", "eqntott", "worm", "verilog"):
+            trace = generate_trace(name, 150_000, seed=0)
+            sizes[name] = average_working_set_bytes(trace, PAGE_4KB, [window])[
+                window
+            ]
+        assert sizes["li"] < sizes["eqntott"]
+        assert sizes["worm"] < sizes["verilog"]
+
+    def test_small_category_working_sets_below_large(self):
+        window = 50_000
+        small = generate_trace("espresso", 150_000, seed=0)
+        large = generate_trace("tomcatv", 150_000, seed=0)
+        ws_small = average_working_set_bytes(small, PAGE_4KB, [window])[window]
+        ws_large = average_working_set_bytes(large, PAGE_4KB, [window])[window]
+        assert ws_small < ws_large
+
+
+class TestTraceCache:
+    def test_cache_round_trip(self, tmp_path):
+        first = cached_trace("li", 3000, seed=5, cache_dir=tmp_path)
+        assert (tmp_path / "li-v4-3000-5.rpt").exists()
+        second = cached_trace("li", 3000, seed=5, cache_dir=tmp_path)
+        assert first == second
+
+    def test_cache_distinguishes_parameters(self, tmp_path):
+        cached_trace("li", 1000, seed=1, cache_dir=tmp_path)
+        cached_trace("li", 1000, seed=2, cache_dir=tmp_path)
+        cached_trace("li", 2000, seed=1, cache_dir=tmp_path)
+        assert len(list(tmp_path.glob("*.rpt"))) == 3
