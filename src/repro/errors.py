@@ -38,6 +38,15 @@ class TraceFormatError(TraceError):
     """A serialized trace does not conform to the on-disk format."""
 
 
+class TraceIntegrityError(TraceError):
+    """A trace file's payload checksum does not match its contents.
+
+    Raised when an ``RPT2`` file parses structurally but its stored CRC32
+    disagrees with the bytes actually read — bit rot, torn writes, or
+    deliberate corruption (see :mod:`repro.robustness.faultinject`).
+    """
+
+
 class WorkloadError(ReproError):
     """A workload specification is invalid or an unknown workload was named."""
 
@@ -48,3 +57,22 @@ class SimulationError(ReproError):
 
 class AllocationError(ReproError):
     """The physical memory allocator could not satisfy a request."""
+
+
+class ExperimentError(ReproError):
+    """An experiment suite was driven incorrectly or could not proceed."""
+
+
+class DeadlineExceededError(ExperimentError):
+    """A per-experiment wall-clock deadline expired before completion."""
+
+
+class JournalError(ReproError):
+    """A run journal is unreadable, corrupt, or from an incompatible run.
+
+    Raised when a checkpoint journal's meta line is missing or its
+    fingerprint (scale, seed, generator version) does not match the run
+    being resumed, or when a non-final journal line is corrupt.  A torn
+    *final* line — the signature of a crash mid-write — is tolerated and
+    dropped, since re-running that one unit is exactly what resume is for.
+    """

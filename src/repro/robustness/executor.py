@@ -1,0 +1,243 @@
+"""Failure-isolated execution of a suite of experiment units.
+
+:func:`run_units` is the degrade-don't-die engine behind
+``repro-experiments``: each unit runs under a retry policy and an
+optional per-unit deadline; a unit that still fails is recorded as
+FAILED with its traceback and the *rest of the suite keeps going*; with
+a :class:`~repro.robustness.journal.RunJournal` attached, every outcome
+is checkpointed so an interrupted run resumes where it left off.
+
+The resulting :class:`SuiteReport` renders a one-screen summary (OK /
+SKIPPED / FAILED per unit plus each failure's message) and maps to the
+process exit code: 0 when everything succeeded, 1 when any unit failed.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback as traceback_module
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import DeadlineExceededError
+from repro.robustness.journal import RunJournal
+from repro.robustness.retry import Deadline, RetryPolicy, call_with_retry
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_SKIPPED = "skipped"
+
+
+@dataclass(frozen=True)
+class UnitSpec:
+    """One schedulable unit of work: a name and a zero-argument callable."""
+
+    name: str
+    run: Callable[[], Any]
+
+
+@dataclass(frozen=True)
+class UnitOutcome:
+    """What happened to one unit.
+
+    ``status`` is ``"ok"`` (ran and succeeded), ``"skipped"`` (already
+    journaled as complete by a previous run), or ``"failed"`` (exhausted
+    its retries or its deadline).  ``result`` is the unit's return value
+    only when it ran this time; skipped units carry ``None``.
+    """
+
+    name: str
+    status: str
+    result: Any = None
+    error: Optional[str] = None
+    traceback: Optional[str] = None
+    elapsed: float = 0.0
+    attempts: int = 0
+
+    @property
+    def failed(self) -> bool:
+        return self.status == STATUS_FAILED
+
+
+@dataclass
+class SuiteReport:
+    """Every unit's outcome, in execution order."""
+
+    outcomes: List[UnitOutcome] = field(default_factory=list)
+
+    @property
+    def succeeded(self) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == STATUS_OK]
+
+    @property
+    def skipped(self) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.status == STATUS_SKIPPED]
+
+    @property
+    def failures(self) -> List[UnitOutcome]:
+        return [o for o in self.outcomes if o.failed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+    def render(self) -> str:
+        """One-screen failure report in the style of a test summary."""
+        lines = [
+            f"suite: {len(self.succeeded)} ok, {len(self.skipped)} resumed, "
+            f"{len(self.failures)} failed"
+        ]
+        for outcome in self.outcomes:
+            marker = {
+                STATUS_OK: "ok    ",
+                STATUS_SKIPPED: "resume",
+                STATUS_FAILED: "FAILED",
+            }[outcome.status]
+            detail = f" ({outcome.elapsed:.1f}s, {outcome.attempts} attempt"
+            detail += "s)" if outcome.attempts != 1 else ")"
+            if outcome.status == STATUS_SKIPPED:
+                detail = " (journaled by a previous run)"
+            lines.append(f"  {marker}  {outcome.name}{detail}")
+        for outcome in self.failures:
+            lines.append("")
+            lines.append(f"FAILED {outcome.name}: {outcome.error}")
+            if outcome.traceback:
+                lines.append(outcome.traceback.rstrip("\n"))
+        return "\n".join(lines)
+
+
+def run_units(
+    units: Sequence[UnitSpec],
+    *,
+    journal: Optional[RunJournal] = None,
+    resume: bool = False,
+    retry_policy: RetryPolicy = RetryPolicy(),
+    deadline_seconds: Optional[float] = None,
+    fail_fast: bool = False,
+    retriable: Tuple[Type[BaseException], ...] = (Exception,),
+    on_success: Optional[Callable[[UnitSpec, Any, float], None]] = None,
+    on_skip: Optional[Callable[[UnitSpec], None]] = None,
+    on_failure: Optional[Callable[[UnitSpec, BaseException], None]] = None,
+    on_retry: Optional[Callable[[UnitSpec, int, BaseException, float], None]] = None,
+    clock: Callable[[], float] = time.monotonic,
+    sleep: Callable[[float], None] = time.sleep,
+) -> SuiteReport:
+    """Run every unit, isolating failures; never raises for a unit's error.
+
+    ``KeyboardInterrupt``/``SystemExit`` still propagate (after being
+    journaled as a failure when a journal is attached) so an operator's
+    Ctrl-C actually stops the run — the journal then makes the rerun
+    cheap, which is the whole point.
+    """
+    report = SuiteReport()
+    for spec in units:
+        if resume and journal is not None and journal.completed(spec.name):
+            previous = journal.get(spec.name)
+            report.outcomes.append(
+                UnitOutcome(
+                    name=spec.name,
+                    status=STATUS_SKIPPED,
+                    elapsed=previous.elapsed if previous else 0.0,
+                )
+            )
+            if on_skip is not None:
+                on_skip(spec)
+            continue
+
+        deadline = Deadline(deadline_seconds, clock=clock)
+        started = clock()
+        attempts_seen = {"count": 0}
+
+        def unit_on_retry(attempt, error, delay, _spec=spec):
+            attempts_seen["count"] = attempt
+            if on_retry is not None:
+                on_retry(_spec, attempt, error, delay)
+
+        try:
+            result, attempts = call_with_retry(
+                spec.run,
+                policy=retry_policy,
+                deadline=deadline,
+                retriable=retriable,
+                on_retry=unit_on_retry,
+                sleep=sleep,
+                label=spec.name,
+            )
+        except (KeyboardInterrupt, SystemExit) as interrupt:
+            elapsed = clock() - started
+            if journal is not None:
+                journal.record_failure(
+                    spec.name,
+                    error=f"interrupted: {interrupt!r}",
+                    elapsed=elapsed,
+                    attempts=attempts_seen["count"] + 1,
+                )
+            raise
+        except BaseException as error:  # noqa: BLE001 - isolation boundary
+            elapsed = clock() - started
+            attempts = (
+                attempts_seen["count"] + 1
+                if not isinstance(error, DeadlineExceededError)
+                else attempts_seen["count"]
+            )
+            trace_text = "".join(
+                traceback_module.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            )
+            if journal is not None:
+                journal.record_failure(
+                    spec.name,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=trace_text,
+                    elapsed=elapsed,
+                    attempts=attempts,
+                )
+            report.outcomes.append(
+                UnitOutcome(
+                    name=spec.name,
+                    status=STATUS_FAILED,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=trace_text,
+                    elapsed=elapsed,
+                    attempts=attempts,
+                )
+            )
+            if on_failure is not None:
+                on_failure(spec, error)
+            if fail_fast:
+                break
+            continue
+
+        elapsed = clock() - started
+        if journal is not None:
+            journal.record_success(
+                spec.name, elapsed=elapsed, attempts=attempts
+            )
+        report.outcomes.append(
+            UnitOutcome(
+                name=spec.name,
+                status=STATUS_OK,
+                result=result,
+                elapsed=elapsed,
+                attempts=attempts,
+            )
+        )
+        if on_success is not None:
+            on_success(spec, result, elapsed)
+    return report
+
+
+__all__ = [
+    "STATUS_FAILED",
+    "STATUS_OK",
+    "STATUS_SKIPPED",
+    "SuiteReport",
+    "UnitOutcome",
+    "UnitSpec",
+    "run_units",
+]

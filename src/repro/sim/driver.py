@@ -17,11 +17,12 @@ Two entry points:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.robustness import faultinject
 from repro.mem.misshandler import (
     SINGLE_SIZE_PENALTY_CYCLES,
     TWO_SIZE_PENALTY_FACTOR,
@@ -87,6 +88,57 @@ class RunResult:
         """Shorthand for ``performance.miss_ratio``."""
         return self.performance.miss_ratio
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form, for checkpoint journals."""
+        return {
+            "trace_name": self.trace_name,
+            "scheme_label": self.scheme_label,
+            "config": {
+                "entries": self.config.entries,
+                "associativity": self.config.associativity,
+                "scheme": self.config.scheme.value,
+                "probe_strategy": self.config.probe_strategy.value,
+                "replacement": self.config.replacement,
+            },
+            "references": int(self.references),
+            "misses": int(self.misses),
+            "large_misses": int(self.large_misses),
+            "reprobes": int(self.reprobes),
+            "invalidations": int(self.invalidations),
+            "promotions": int(self.promotions),
+            "demotions": int(self.demotions),
+            "refs_per_instruction": float(self.refs_per_instruction),
+            "miss_penalty_cycles": float(self.miss_penalty_cycles),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "RunResult":
+        """Rebuild a result journaled by :meth:`to_payload`."""
+        from repro.tlb.indexing import IndexingScheme, ProbeStrategy
+
+        raw_config = payload["config"]
+        config = TLBConfig(
+            entries=int(raw_config["entries"]),
+            associativity=raw_config["associativity"],
+            scheme=IndexingScheme(raw_config["scheme"]),
+            probe_strategy=ProbeStrategy(raw_config["probe_strategy"]),
+            replacement=raw_config["replacement"],
+        )
+        return cls(
+            trace_name=payload["trace_name"],
+            scheme_label=payload["scheme_label"],
+            config=config,
+            references=int(payload["references"]),
+            misses=int(payload["misses"]),
+            large_misses=int(payload["large_misses"]),
+            reprobes=int(payload["reprobes"]),
+            invalidations=int(payload["invalidations"]),
+            promotions=int(payload["promotions"]),
+            demotions=int(payload["demotions"]),
+            refs_per_instruction=float(payload["refs_per_instruction"]),
+            miss_penalty_cycles=float(payload["miss_penalty_cycles"]),
+        )
+
 
 def run_single_size(
     trace: Trace,
@@ -96,6 +148,7 @@ def run_single_size(
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
 ) -> RunResult:
     """Simulate one single-page-size TLB over ``trace``."""
+    faultinject.check("sim.driver.run_single_size")
     tlb = config.build()
     pages = (trace.addresses >> np.uint32(log2_exact(scheme.page_size))).tolist()
     access = tlb.access_single
@@ -133,6 +186,7 @@ def run_with_policy(
     """
     if not configs:
         raise ConfigurationError("run_with_policy needs at least one TLBConfig")
+    faultinject.check("sim.driver.run_with_policy")
     tlbs = [config.build() for config in configs]
     pair = policy.pair
     blocks_shift = log2_exact(pair.blocks_per_chunk)

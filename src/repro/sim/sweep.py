@@ -9,21 +9,35 @@ Set-index bits default to the low bits of the page number; an explicit
 ``index_shift`` lets the caller index 4KB pages by large-page (chunk)
 bits — the degenerate "two-page-size hardware, no large pages allocated"
 case of Table 5.1's second column.
+
+Passing a :class:`~repro.robustness.journal.RunJournal` checkpoints each
+(page size, config) result as it is extracted and, on a resumed run,
+skips any stack pass whose entire family of results is already
+journaled — one pass is expensive, its results are precious.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mem.misshandler import SINGLE_SIZE_PENALTY_CYCLES
+from repro.robustness import faultinject
+from repro.robustness.journal import RunJournal
 from repro.sim.config import SingleSizeScheme, TLBConfig
 from repro.sim.driver import RunResult
 from repro.stacksim.lru_stack import lru_miss_curve, per_set_miss_curve
 from repro.trace.record import Trace
 from repro.types import log2_exact
+
+
+def _sweep_unit(
+    trace: Trace, page_size: int, label: str, index_shift: int
+) -> str:
+    """Journal key for one (trace, page size, config) sweep result."""
+    return f"sweep:{trace.name}:{page_size}:{label}:shift{index_shift}"
 
 
 def sweep_single_size(
@@ -33,6 +47,7 @@ def sweep_single_size(
     *,
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
     index_shift: int = 0,
+    journal: Optional[RunJournal] = None,
 ) -> Dict[Tuple[int, str], RunResult]:
     """Miss counts for every (page size, TLB shape) pair.
 
@@ -44,6 +59,9 @@ def sweep_single_size(
         index_shift: extra right-shift applied to the page number before
             taking set-index bits (0 = conventional; 3 with 4KB pages =
             index by 32KB chunk bits).
+        journal: optional checkpoint journal; completed (page size,
+            config) units are replayed from it instead of re-simulated,
+            and fresh results are recorded as they are extracted.
 
     Returns:
         {(page_size, config.label): RunResult}
@@ -52,9 +70,22 @@ def sweep_single_size(
         raise ConfigurationError("sweep needs at least one TLBConfig")
     results: Dict[Tuple[int, str], RunResult] = {}
     for page_size in page_sizes:
+        remaining: List[TLBConfig] = []
+        for config in configs:
+            unit = _sweep_unit(trace, page_size, config.label, index_shift)
+            record = journal.get(unit) if journal is not None else None
+            if record is not None and record.succeeded and record.payload:
+                results[(page_size, config.label)] = RunResult.from_payload(
+                    record.payload
+                )
+            else:
+                remaining.append(config)
+        if not remaining:
+            continue
+        faultinject.check("sim.sweep")
         pages = trace.addresses >> np.uint32(log2_exact(page_size))
         by_sets: Dict[int, List[TLBConfig]] = {}
-        for config in configs:
+        for config in remaining:
             sets = 1 if config.fully_associative else (
                 config.entries // config.associativity
             )
@@ -73,7 +104,7 @@ def sweep_single_size(
                 )
             for config in group:
                 ways = config.entries if sets == 1 else config.entries // sets
-                results[(page_size, config.label)] = RunResult(
+                result = RunResult(
                     trace_name=trace.name,
                     scheme_label=SingleSizeScheme(page_size).label,
                     config=config,
@@ -87,4 +118,12 @@ def sweep_single_size(
                     refs_per_instruction=trace.refs_per_instruction,
                     miss_penalty_cycles=base_penalty,
                 )
+                results[(page_size, config.label)] = result
+                if journal is not None:
+                    journal.record_success(
+                        _sweep_unit(
+                            trace, page_size, config.label, index_shift
+                        ),
+                        payload=result.to_payload(),
+                    )
     return results

@@ -19,14 +19,16 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.errors import ReproError
+from repro.errors import ReproError, TraceFormatError
 from repro.stacksim.working_set import average_working_set_bytes
 from repro.trace.mix import round_robin_mix
 from repro.trace.record import Trace
 from repro.trace.stats import compute_statistics
 from repro.trace.trace_io import (
+    BINARY_MAGICS,
     read_text_trace,
     read_trace,
+    sniff_magic,
     write_text_trace,
     write_trace,
 )
@@ -35,9 +37,22 @@ from repro.workloads.registry import generate_trace, workload_names
 
 
 def _load(path: str) -> Trace:
-    """Read a trace, auto-detecting binary vs text by suffix."""
-    if path.endswith(".rpt"):
+    """Read a trace, detecting the format from its magic bytes.
+
+    The suffix is advisory only: a real binary trace is read as binary
+    whatever it is named, and a file *named* ``.rpt`` that does not
+    start with a binary magic gets a clear format error instead of a
+    garbage binary parse (or a silent, wrong text parse).
+    """
+    magic = sniff_magic(path)
+    if magic in BINARY_MAGICS:
         return read_trace(path)
+    if path.endswith(".rpt"):
+        raise TraceFormatError(
+            f"{path}: named .rpt but does not start with a binary trace "
+            f"magic (got {magic!r}); if this is a text trace, rename it "
+            f"or convert it with 'repro-trace convert'"
+        )
     return read_text_trace(path)
 
 
@@ -153,7 +168,7 @@ def main(argv=None) -> int:
         return args.func(args)
     except (ReproError, OSError) as error:
         print(f"repro-trace: {error}", file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":

@@ -14,7 +14,9 @@ import os
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from repro.errors import WorkloadError
+import warnings
+
+from repro.errors import TraceError, WorkloadError
 from repro.trace.record import Trace
 from repro.trace.trace_io import read_trace, write_trace
 from repro.workloads.base import SyntheticWorkload
@@ -113,6 +115,11 @@ def cached_trace(
     Benchmarks regenerate the same traces many times; caching them in
     ``cache_dir`` (default ``~/.cache/repro-traces`` or
     ``$REPRO_TRACE_CACHE``) makes repeated runs start instantly.
+
+    A cache file that fails to read — truncated, bit-rotted, or failing
+    its ``RPT2`` checksum — is treated as a cache miss: the trace is
+    regenerated and the bad file overwritten, with a warning, because a
+    corrupt *cache* must never abort (or worse, corrupt) an experiment.
     """
     if cache_dir is None:
         cache_dir = os.environ.get(
@@ -123,7 +130,14 @@ def cached_trace(
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{name}-v{GENERATOR_VERSION}-{length}-{seed}.rpt"
     if path.exists():
-        return read_trace(path)
+        try:
+            return read_trace(path)
+        except TraceError as error:
+            warnings.warn(
+                f"discarding corrupt cached trace {path}: {error}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     trace = generate_trace(name, length, seed)
     write_trace(path, trace)
     return trace

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import TraceError, TraceFormatError
+from repro.errors import TraceError, TraceFormatError, TraceIntegrityError
 from repro.trace import (
     KIND_IFETCH,
     KIND_LOAD,
@@ -132,12 +132,13 @@ class TestBinaryIO:
             read_trace(path)
 
     def test_truncated_file_rejected(self, tmp_path):
+        # Truncation trips the RPT2 checksum before structural parsing.
         trace = small_trace()
         path = tmp_path / "trunc.rpt"
         write_trace(path, trace)
         raw = path.read_bytes()
         path.write_bytes(raw[:-3])
-        with pytest.raises(TraceFormatError):
+        with pytest.raises(TraceError):
             read_trace(path)
 
     def test_trailing_bytes_rejected(self, tmp_path):
@@ -145,8 +146,36 @@ class TestBinaryIO:
         path = tmp_path / "trail.rpt"
         write_trace(path, trace)
         path.write_bytes(path.read_bytes() + b"!")
-        with pytest.raises(TraceFormatError):
+        with pytest.raises(TraceError):
             read_trace(path)
+
+    def test_writes_rpt2_magic(self, tmp_path):
+        path = tmp_path / "v2.rpt"
+        write_trace(path, small_trace())
+        assert path.read_bytes()[:4] == b"RPT2"
+
+    def test_payload_corruption_raises_integrity_error(self, tmp_path):
+        trace = small_trace()
+        path = tmp_path / "corrupt.rpt"
+        write_trace(path, trace)
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF  # last kind byte
+        path.write_bytes(bytes(raw))
+        with pytest.raises(TraceIntegrityError):
+            read_trace(path)
+
+    def test_legacy_rpt1_still_readable(self, tmp_path):
+        from repro.trace.trace_io import _encode_body
+
+        trace = small_trace(name="legacy", rpi=1.1)
+        path = tmp_path / "legacy.rpt"
+        path.write_bytes(b"RPT1" + _encode_body(trace))
+        assert read_trace(path) == trace
+
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        path = tmp_path / "atomic.rpt"
+        write_trace(path, small_trace())
+        assert [p.name for p in tmp_path.iterdir()] == ["atomic.rpt"]
 
     @settings(max_examples=25, deadline=None)
     @given(

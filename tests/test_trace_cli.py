@@ -38,8 +38,30 @@ class TestInfo:
         assert "working set:" in out
 
     def test_info_missing_file(self, capsys):
-        assert main(["info", "/nonexistent/trace.rpt"]) == 1
+        assert main(["info", "/nonexistent/trace.rpt"]) == 2
         assert "repro-trace:" in capsys.readouterr().err
+
+
+class TestFormatSniffing:
+    def test_text_named_rpt_gets_clear_error(self, tmp_path, capsys):
+        path = tmp_path / "foo.rpt"
+        path.write_text("0 1000\n1 2000\n")
+        assert main(["info", str(path)]) == 2
+        err = capsys.readouterr().err
+        assert "repro-trace:" in err
+        assert "magic" in err
+
+    def test_binary_named_din_reads_as_binary(self, tmp_path, capsys):
+        mislabeled = tmp_path / "actually-binary.din"
+        main(["generate", "li", str(mislabeled), "--length", "100"])
+        # The generate step trusts the suffix and wrote text; overwrite
+        # with real binary bytes to prove _load sniffs rather than trusts.
+        binary = tmp_path / "real.rpt"
+        main(["generate", "li", str(binary), "--length", "100"])
+        mislabeled.write_bytes(binary.read_bytes())
+        capsys.readouterr()
+        assert main(["info", str(mislabeled)]) == 0
+        assert "references:      100" in capsys.readouterr().out
 
 
 class TestConvert:
@@ -84,7 +106,7 @@ class TestMix:
         main(["generate", "worm", str(second), "--length", "200"])
         capsys.readouterr()
         assert (
-            main(["mix", str(first), str(second), "--output", str(out)]) == 1
+            main(["mix", str(first), str(second), "--output", str(out)]) == 2
         )
         assert "repro-trace:" in capsys.readouterr().err
         assert (

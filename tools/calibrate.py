@@ -1,14 +1,14 @@
 """Calibration readout: per-workload WS + CPI vs paper targets."""
 import sys
-import numpy as np
+
+import numpy as np  # noqa: F401  (kept importable for interactive tweaking)
+
+from repro.errors import ReproError
 from repro.workloads import all_workloads
 from repro.stacksim import average_working_set_bytes
 from repro.policy.dynamic_ws import dynamic_average_working_set
 from repro.sim import TLBConfig, TwoSizeScheme, run_two_sizes, sweep_single_size
 from repro.types import PAGE_4KB, PAGE_8KB, PAGE_32KB, PAIR_4KB_32KB
-
-LEN = int(sys.argv[1]) if len(sys.argv) > 1 else 300_000
-W = int(sys.argv[2]) if len(sys.argv) > 2 else 40_000
 
 # Paper Table 5.1 16-entry two-way "4KB" column, the CPI anchor.
 TARGET = {
@@ -17,20 +17,35 @@ TARGET = {
     "xnews": 0.247, "matrix300": 1.624, "tomcatv": 0.461, "verilog": 0.604,
 }
 
-fa = TLBConfig(16)
-sa16 = TLBConfig(16, 2)
-print(f"{'prog':10s} {'ws4K':>7s} {'wsN32':>6s} {'wsN2':>5s} {'promo':>5s} | "
-      f"{'FA 4K':>6s} {'FA 8K':>6s} {'FA32K':>6s} {'FA 2pg':>6s} | "
-      f"{'2w 4K':>6s} {'tgt':>6s} {'2w 2pg':>6s}")
-for w in all_workloads():
-    t = w.generate(LEN, seed=0)
-    ws4 = average_working_set_bytes(t, PAGE_4KB, [W])[W]
-    ws32 = average_working_set_bytes(t, PAGE_32KB, [W])[W]
-    dyn = dynamic_average_working_set(t, PAIR_4KB_32KB, W)
-    swept = sweep_single_size(t, [PAGE_4KB, PAGE_8KB, PAGE_32KB], [fa, sa16])
-    scheme = TwoSizeScheme(window=W)
-    two = run_two_sizes(t, scheme, [fa, sa16])
-    c = lambda ps, cfg: swept[(ps, cfg.label)].cpi_tlb
-    print(f"{w.name:10s} {ws4/1024:6.0f}K {ws32/ws4:6.2f} {dyn.average_bytes/ws4:5.2f} {dyn.promotions:5d} | "
-          f"{c(PAGE_4KB, fa):6.3f} {c(PAGE_8KB, fa):6.3f} {c(PAGE_32KB, fa):6.3f} {two[0].cpi_tlb:6.3f} | "
-          f"{c(PAGE_4KB, sa16):6.3f} {TARGET[w.name]:6.3f} {two[1].cpi_tlb:6.3f}")
+
+def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    length = int(argv[0]) if len(argv) > 0 else 300_000
+    window = int(argv[1]) if len(argv) > 1 else 40_000
+
+    fa = TLBConfig(16)
+    sa16 = TLBConfig(16, 2)
+    print(f"{'prog':10s} {'ws4K':>7s} {'wsN32':>6s} {'wsN2':>5s} {'promo':>5s} | "
+          f"{'FA 4K':>6s} {'FA 8K':>6s} {'FA32K':>6s} {'FA 2pg':>6s} | "
+          f"{'2w 4K':>6s} {'tgt':>6s} {'2w 2pg':>6s}")
+    for w in all_workloads():
+        t = w.generate(length, seed=0)
+        ws4 = average_working_set_bytes(t, PAGE_4KB, [window])[window]
+        ws32 = average_working_set_bytes(t, PAGE_32KB, [window])[window]
+        dyn = dynamic_average_working_set(t, PAIR_4KB_32KB, window)
+        swept = sweep_single_size(t, [PAGE_4KB, PAGE_8KB, PAGE_32KB], [fa, sa16])
+        scheme = TwoSizeScheme(window=window)
+        two = run_two_sizes(t, scheme, [fa, sa16])
+        c = lambda ps, cfg: swept[(ps, cfg.label)].cpi_tlb
+        print(f"{w.name:10s} {ws4/1024:6.0f}K {ws32/ws4:6.2f} {dyn.average_bytes/ws4:5.2f} {dyn.promotions:5d} | "
+              f"{c(PAGE_4KB, fa):6.3f} {c(PAGE_8KB, fa):6.3f} {c(PAGE_32KB, fa):6.3f} {two[0].cpi_tlb:6.3f} | "
+              f"{c(PAGE_4KB, sa16):6.3f} {TARGET[w.name]:6.3f} {two[1].cpi_tlb:6.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except ReproError as error:
+        print(f"calibrate: {error}", file=sys.stderr)
+        sys.exit(2)
