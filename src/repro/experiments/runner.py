@@ -11,9 +11,11 @@ exponential backoff and an optional per-experiment deadline; a failing
 experiment is recorded as FAILED with its traceback while the rest of
 the suite completes, and the process exits 1 with a failure report
 instead of dying on the first exception.  With ``--journal`` every
-completed experiment is checkpointed to a JSONL journal, and
-``--resume`` skips experiments the journal already records — an
-interrupted suite resumes where it left off instead of restarting.
+completed experiment is checkpointed to a JSONL journal (with its
+rendered output as payload), and ``--resume`` skips experiments the
+journal already records — reprinting them and regenerating their
+``--results-dir``/``--csv-dir`` files from the journaled payload — so
+an interrupted suite resumes where it left off instead of restarting.
 """
 
 from __future__ import annotations
@@ -228,9 +230,41 @@ def _run_suite(args: argparse.Namespace) -> int:
             (directory / f"{name}.txt").write_text(result.render() + "\n")
         print(f"[{name}: {elapsed:.1f}s]\n")
 
+    def journal_payload(spec: UnitSpec, result: object) -> Dict[str, object]:
+        # Stored on the success record so a resumed run can reprint the
+        # experiment and regenerate its output files without re-running.
+        payload: Dict[str, object] = {"rendered": result.render()}
+        if hasattr(result, "render_chart"):
+            payload["chart"] = result.render_chart()
+        if hasattr(result, "to_csv"):
+            payload["csv"] = result.to_csv()
+        return payload
+
     def announce_skip(spec: UnitSpec) -> None:
         name = spec.name.split(":", 1)[1]
-        print(f"[{name}: already journaled, skipping]\n")
+        record = journal.get(spec.name) if journal is not None else None
+        payload = record.payload if record is not None else None
+        rendered = payload.get("rendered") if payload else None
+        if not isinstance(rendered, str):
+            # Pre-payload journal (or stripped record): nothing to
+            # republish, so prior runs' output files must survive.
+            print(f"[{name}: already journaled, skipping]\n")
+            return
+        print(rendered)
+        chart = payload.get("chart")
+        if args.chart and isinstance(chart, str):
+            print()
+            print(chart)
+        csv_text = payload.get("csv")
+        if args.csv_dir and isinstance(csv_text, str):
+            directory = Path(args.csv_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.csv").write_text(csv_text + "\n")
+        if args.results_dir:
+            directory = Path(args.results_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            (directory / f"{name}.txt").write_text(rendered + "\n")
+        print(f"[{name}: restored from journal]\n")
 
     def announce_retry(spec, attempt, error, delay) -> None:
         name = spec.name.split(":", 1)[1]
@@ -265,6 +299,7 @@ def _run_suite(args: argparse.Namespace) -> int:
         deadline_seconds=args.deadline,
         fail_fast=args.fail_fast,
         on_success=publish,
+        journal_payload=journal_payload,
         on_skip=announce_skip,
         on_retry=announce_retry,
         on_failure=announce_failure,

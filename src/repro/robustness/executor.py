@@ -17,7 +17,16 @@ from __future__ import annotations
 import time
 import traceback as traceback_module
 from dataclasses import dataclass, field
-from typing import Any, Callable, List, Optional, Sequence, Tuple, Type
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
 from repro.errors import DeadlineExceededError
 from repro.robustness.journal import RunJournal
@@ -123,10 +132,21 @@ def run_units(
     on_skip: Optional[Callable[[UnitSpec], None]] = None,
     on_failure: Optional[Callable[[UnitSpec, BaseException], None]] = None,
     on_retry: Optional[Callable[[UnitSpec, int, BaseException, float], None]] = None,
+    journal_payload: Optional[
+        Callable[[UnitSpec, Any], Optional[Dict[str, Any]]]
+    ] = None,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
 ) -> SuiteReport:
     """Run every unit, isolating failures; never raises for a unit's error.
+
+    ``on_success`` (publishing: rendering, writing result files) runs
+    *before* the unit is journaled as complete, and inside the same
+    failure-isolation boundary as the unit itself — a publish error
+    records the unit FAILED rather than letting a later ``--resume``
+    skip a unit whose outputs were never written.  ``journal_payload``
+    maps a unit's result to the dict stored on its success record, so a
+    resumed run can re-publish outputs without re-running the unit.
 
     ``KeyboardInterrupt``/``SystemExit`` still propagate (after being
     journaled as a failure when a journal is attached) so an operator's
@@ -157,6 +177,43 @@ def run_units(
             if on_retry is not None:
                 on_retry(_spec, attempt, error, delay)
 
+        def journal_interrupt(interrupt, attempts, _spec=spec, _started=started):
+            if journal is not None:
+                journal.record_failure(
+                    _spec.name,
+                    error=f"interrupted: {interrupt!r}",
+                    elapsed=clock() - _started,
+                    attempts=attempts,
+                )
+
+        def record_unit_failure(error, attempts, _spec=spec, _started=started):
+            elapsed = clock() - _started
+            trace_text = "".join(
+                traceback_module.format_exception(
+                    type(error), error, error.__traceback__
+                )
+            )
+            if journal is not None:
+                journal.record_failure(
+                    _spec.name,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=trace_text,
+                    elapsed=elapsed,
+                    attempts=attempts,
+                )
+            report.outcomes.append(
+                UnitOutcome(
+                    name=_spec.name,
+                    status=STATUS_FAILED,
+                    error=f"{type(error).__name__}: {error}",
+                    traceback=trace_text,
+                    elapsed=elapsed,
+                    attempts=attempts,
+                )
+            )
+            if on_failure is not None:
+                on_failure(_spec, error)
+
         try:
             result, attempts = call_with_retry(
                 spec.run,
@@ -168,55 +225,42 @@ def run_units(
                 label=spec.name,
             )
         except (KeyboardInterrupt, SystemExit) as interrupt:
-            elapsed = clock() - started
-            if journal is not None:
-                journal.record_failure(
-                    spec.name,
-                    error=f"interrupted: {interrupt!r}",
-                    elapsed=elapsed,
-                    attempts=attempts_seen["count"] + 1,
-                )
+            journal_interrupt(interrupt, attempts_seen["count"] + 1)
             raise
         except BaseException as error:  # noqa: BLE001 - isolation boundary
-            elapsed = clock() - started
             attempts = (
                 attempts_seen["count"] + 1
                 if not isinstance(error, DeadlineExceededError)
                 else attempts_seen["count"]
             )
-            trace_text = "".join(
-                traceback_module.format_exception(
-                    type(error), error, error.__traceback__
-                )
-            )
-            if journal is not None:
-                journal.record_failure(
-                    spec.name,
-                    error=f"{type(error).__name__}: {error}",
-                    traceback=trace_text,
-                    elapsed=elapsed,
-                    attempts=attempts,
-                )
-            report.outcomes.append(
-                UnitOutcome(
-                    name=spec.name,
-                    status=STATUS_FAILED,
-                    error=f"{type(error).__name__}: {error}",
-                    traceback=trace_text,
-                    elapsed=elapsed,
-                    attempts=attempts,
-                )
-            )
-            if on_failure is not None:
-                on_failure(spec, error)
+            record_unit_failure(error, attempts)
             if fail_fast:
                 break
             continue
 
+        # Publish BEFORE journaling success: a unit is complete only
+        # once its outputs exist, so a publish error (render, CSV or
+        # results-dir write) must not leave a success record that a
+        # later --resume would trust.
         elapsed = clock() - started
+        payload: Optional[Dict[str, Any]] = None
+        try:
+            if on_success is not None:
+                on_success(spec, result, elapsed)
+            if journal is not None and journal_payload is not None:
+                payload = journal_payload(spec, result)
+        except (KeyboardInterrupt, SystemExit) as interrupt:
+            journal_interrupt(interrupt, attempts)
+            raise
+        except BaseException as error:  # noqa: BLE001 - isolation boundary
+            record_unit_failure(error, attempts)
+            if fail_fast:
+                break
+            continue
+
         if journal is not None:
             journal.record_success(
-                spec.name, elapsed=elapsed, attempts=attempts
+                spec.name, elapsed=elapsed, attempts=attempts, payload=payload
             )
         report.outcomes.append(
             UnitOutcome(
@@ -227,8 +271,6 @@ def run_units(
                 attempts=attempts,
             )
         )
-        if on_success is not None:
-            on_success(spec, result, elapsed)
     return report
 
 

@@ -15,8 +15,9 @@ Journal layout (one JSON object per line)::
 
 Every line carries a ``"crc"`` field: the CRC32 of the line's canonical
 JSON with the ``crc`` key removed.  On load, a corrupt *final* line (the
-signature of a crash mid-append) is dropped and its unit simply re-runs;
-a corrupt line anywhere earlier raises
+signature of a crash mid-append) is dropped — and truncated from the
+file, so later appends start on a clean line — and its unit simply
+re-runs; a corrupt line anywhere earlier raises
 :class:`~repro.errors.JournalError`, because silently skipping completed
 work in the middle of the record could double-run side-effecting units.
 
@@ -104,24 +105,35 @@ class RunJournal:
     # -- loading ---------------------------------------------------------
 
     def _replay(self) -> None:
-        with open(self.path, "r", encoding="utf-8") as stream:
-            raw_lines = stream.read().splitlines()
+        with open(self.path, "rb") as stream:
+            blob = stream.read()
+        raw_lines = blob.split(b"\n")
+        if raw_lines and raw_lines[-1] == b"":
+            raw_lines.pop()
         if not raw_lines:
             raise JournalError(f"{self.path}: journal is empty (no meta line)")
         parsed: List[Dict[str, Any]] = []
-        for index, raw in enumerate(raw_lines):
-            record = self._decode_line(raw)
+        valid_end = 0  # byte offset just past the last valid line
+        for index, raw_bytes in enumerate(raw_lines):
+            try:
+                record = self._decode_line(raw_bytes.decode("utf-8"))
+            except UnicodeDecodeError:
+                record = None
             if record is None:
                 if index == len(raw_lines) - 1:
                     # Torn final line from a crash mid-append: drop it —
                     # its unit re-runs, which is what resume is for.
+                    # Physically truncate the fragment so the next append
+                    # starts on a clean line instead of merging with it.
                     self._dropped_torn_line = True
+                    os.truncate(self.path, valid_end)
                     continue
                 raise JournalError(
                     f"{self.path}:{index + 1}: corrupt journal line "
                     f"(not torn-tail; refusing to guess which work is done)"
                 )
             parsed.append(record)
+            valid_end = min(valid_end + len(raw_bytes) + 1, len(blob))
         if not parsed or parsed[0].get("type") != "meta":
             raise JournalError(f"{self.path}: missing meta line")
         meta = parsed[0]
@@ -169,7 +181,20 @@ class RunJournal:
     # -- recording -------------------------------------------------------
 
     def _write_line(self, record: Dict[str, Any]) -> None:
+        # A crash can leave the file without a trailing newline (e.g. a
+        # partial append that happens to end exactly at the JSON's last
+        # byte, which CRC-checks as valid).  Never append onto such a
+        # tail: the two records would merge into one corrupt line.
+        needs_newline = False
+        try:
+            with open(self.path, "rb") as stream:
+                stream.seek(-1, os.SEEK_END)
+                needs_newline = stream.read(1) != b"\n"
+        except OSError:
+            pass  # missing or empty file: nothing to terminate
         with open(self.path, "a", encoding="utf-8") as stream:
+            if needs_newline:
+                stream.write("\n")
             stream.write(_encode_line(record) + "\n")
             stream.flush()
             os.fsync(stream.fileno())

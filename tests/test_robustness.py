@@ -77,6 +77,38 @@ class TestRunJournal:
         assert reloaded.get("c") is None
         assert reloaded.dropped_torn_line
 
+    def test_torn_tail_truncated_then_appendable(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        journal = RunJournal(path, fingerprint={})
+        journal.record_success("a")
+        with open(path, "a") as stream:
+            stream.write('{"type": "unit", "unit": "b", "stat')
+        # Crash → resume: the torn fragment must be physically
+        # truncated so the next append does not merge with it.
+        resumed = RunJournal(path, fingerprint={})
+        assert resumed.dropped_torn_line
+        resumed.record_success("b")
+        resumed.record_success("c")
+        # Resume again: every line parses and no success was lost.
+        again = RunJournal(path, fingerprint={})
+        assert not again.dropped_torn_line
+        assert again.completed("a")
+        assert again.completed("b")
+        assert again.completed("c")
+
+    def test_append_after_lost_trailing_newline(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        RunJournal(path, fingerprint={}).record_success("a")
+        # A partial append can end exactly at the JSON's last byte: the
+        # final line CRC-checks as valid but has no newline.
+        with open(path, "rb+") as stream:
+            stream.seek(-1, 2)
+            stream.truncate()
+        resumed = RunJournal(path, fingerprint={})
+        resumed.record_success("b")
+        again = RunJournal(path, fingerprint={})
+        assert again.completed("a") and again.completed("b")
+
     def test_corrupt_middle_line_rejected(self, tmp_path):
         path = tmp_path / "j.jsonl"
         journal = RunJournal(path, fingerprint={})
@@ -259,6 +291,48 @@ class TestExecutor:
         )
         assert second.ok and second.outcomes[0].status == "ok"
 
+    def test_publish_failure_marks_unit_failed(self, tmp_path):
+        journal = RunJournal(tmp_path / "j.jsonl", fingerprint={})
+
+        def bad_publish(spec, result, elapsed):
+            raise OSError("disk full")
+
+        report = run_units(
+            [UnitSpec("a", lambda: "ok")],
+            journal=journal,
+            retry_policy=RetryPolicy(1),
+            on_success=bad_publish,
+            sleep=lambda _: None,
+        )
+        # The unit ran but its outputs were never written: it must be
+        # isolated as FAILED, not raised, and not journaled complete.
+        assert not report.ok
+        assert report.outcomes[0].status == "failed"
+        assert "disk full" in report.outcomes[0].error
+        assert not journal.completed("a")
+        # So a later --resume re-runs and re-publishes it.
+        published = []
+        resumed = run_units(
+            [UnitSpec("a", lambda: "ok")],
+            journal=RunJournal(tmp_path / "j.jsonl", fingerprint={}),
+            resume=True,
+            retry_policy=RetryPolicy(1),
+            on_success=lambda spec, result, elapsed: published.append(
+                spec.name
+            ),
+        )
+        assert resumed.ok and published == ["a"]
+
+    def test_journal_payload_stored_on_success(self, tmp_path):
+        run_units(
+            [UnitSpec("a", lambda: 41)],
+            journal=RunJournal(tmp_path / "j.jsonl", fingerprint={}),
+            retry_policy=RetryPolicy(1),
+            journal_payload=lambda spec, result: {"answer": result + 1},
+        )
+        reloaded = RunJournal(tmp_path / "j.jsonl", fingerprint={})
+        assert reloaded.get("a").payload == {"answer": 42}
+
     def test_interrupt_is_journaled_and_propagates(self, tmp_path):
         journal = RunJournal(tmp_path / "j.jsonl", fingerprint={})
 
@@ -377,12 +451,16 @@ class TestRunnerEndToEnd:
         assert (tmp_path / "results" / "alpha.txt").exists()
         capsys.readouterr()
 
-        # Run 2: --resume skips alpha, completes boom and gamma, and
-        # reports beta as FAILED while the suite still finishes.
+        # Run 2: --resume skips alpha (re-publishing it from the
+        # journaled payload, even though its results file was lost with
+        # the crash), completes boom and gamma, and reports beta as
+        # FAILED while the suite still finishes.
+        (tmp_path / "results" / "alpha.txt").unlink()
         code = runner.main(self._argv(tmp_path, "--resume"))
         out = capsys.readouterr().out
         assert code == 1
-        assert "[alpha: already journaled, skipping]" in out
+        assert "[alpha: restored from journal]" in out
+        assert "RESULT alpha" in out
         assert "RESULT boom" in out and "RESULT gamma" in out
         assert "FAILED experiment:beta" in out
         assert "intentionally broken experiment" in out
