@@ -5,7 +5,6 @@ sometimes more) versus 4KB; the two-page-size bars land close to the
 32KB bars (the gap is mostly the 25% penalty), and 8KB sits in between.
 """
 
-import math
 
 from conftest import run_once
 

@@ -63,6 +63,16 @@ class ExperimentError(ReproError):
     """An experiment suite was driven incorrectly or could not proceed."""
 
 
+class BenchmarkError(ReproError):
+    """A benchmark run or baseline comparison could not proceed.
+
+    Raised by ``repro-bench`` when a baseline file is missing, corrupt,
+    or from an incompatible suite — conditions distinct from a measured
+    regression, which is reported through the comparison result (and a
+    different exit code) rather than an exception.
+    """
+
+
 class DeadlineExceededError(ExperimentError):
     """A per-experiment wall-clock deadline expired before completion."""
 

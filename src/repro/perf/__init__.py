@@ -1,0 +1,39 @@
+"""Performance subsystem: vectorized simulation kernels and benchmarking.
+
+The paper's experiments are trace-driven passes whose cost is dominated
+by per-reference inner loops.  This package supplies:
+
+* :mod:`repro.perf.kernels` — exact numpy batch kernels for the three
+  hottest loops (LRU stack distances, single-size TLB simulation, and
+  sliding-window membership), used by :mod:`repro.stacksim`,
+  :mod:`repro.sim.driver` and :mod:`repro.policy` behind a
+  ``kernel="scalar"|"vector"`` switch;
+* :mod:`repro.perf.bench` — the ``repro-bench`` console entry point,
+  which times a pinned suite and writes machine-readable
+  ``BENCH_<rev>.json`` reports;
+* :mod:`repro.perf.baseline` — the baseline comparator behind
+  ``repro-bench --check``, the piece CI's ``bench-smoke`` job gates on.
+
+See ``docs/performance.md`` for the kernel-switch contract, the report
+schema and the CI regression gate.
+"""
+
+from repro.perf.kernels import (
+    KERNEL_AUTO,
+    KERNEL_SCALAR,
+    KERNEL_VECTOR,
+    previous_occurrences,
+    resolve_kernel,
+    stack_depths,
+    window_events,
+)
+
+__all__ = [
+    "KERNEL_AUTO",
+    "KERNEL_SCALAR",
+    "KERNEL_VECTOR",
+    "previous_occurrences",
+    "resolve_kernel",
+    "stack_depths",
+    "window_events",
+]

@@ -1,0 +1,168 @@
+"""Baseline comparison for ``repro-bench`` reports (the CI gate).
+
+A benchmark report is only useful against a reference point.  This
+module loads a committed baseline report, matches its units against a
+freshly measured one, and flags regressions.
+
+The compared figure is each unit's **vector/scalar speedup ratio**, not
+its wall time: wall times differ wildly across machines (a laptop vs a
+CI runner), but the ratio between the two kernels on the *same* machine
+in the *same* process is stable, so a committed ``baseline.json``
+remains meaningful wherever the check runs.  A unit regresses when its
+measured speedup falls more than ``threshold_percent`` below the
+baseline speedup.
+
+Failure modes are deliberately split:
+
+* a *regression* is a valid comparison with a bad outcome — reported in
+  the :class:`ComparisonResult`, exit code 1 at the CLI;
+* a *broken baseline* (missing file, invalid JSON, wrong schema,
+  mismatched units) raises :class:`~repro.errors.BenchmarkError` —
+  exit code 2 at the CLI — so CI can distinguish "the code got slower"
+  from "the gate itself is broken".
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Union
+
+from repro.errors import BenchmarkError
+
+#: Schema identifier stamped into every report; bump on layout changes.
+REPORT_SCHEMA = "repro-bench/1"
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and validate a ``repro-bench`` JSON report.
+
+    Raises:
+        BenchmarkError: if the file is missing, not valid JSON, or not a
+            report of the expected schema.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as error:
+        raise BenchmarkError(f"cannot read baseline {path}: {error}") from error
+    try:
+        report = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise BenchmarkError(
+            f"baseline {path} is not valid JSON: {error}"
+        ) from error
+    if not isinstance(report, dict):
+        raise BenchmarkError(f"baseline {path} is not a JSON object")
+    schema = report.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise BenchmarkError(
+            f"baseline {path} has schema {schema!r}; expected {REPORT_SCHEMA!r} "
+            "(regenerate it with the current repro-bench)"
+        )
+    units = report.get("units")
+    if not isinstance(units, list) or not units:
+        raise BenchmarkError(f"baseline {path} contains no benchmark units")
+    for unit in units:
+        if not isinstance(unit, dict) or "name" not in unit:
+            raise BenchmarkError(f"baseline {path} has a malformed unit entry")
+    return report
+
+
+@dataclass(frozen=True)
+class UnitComparison:
+    """Outcome of comparing one benchmark unit against its baseline."""
+
+    name: str
+    baseline_speedup: float
+    current_speedup: float
+    change_percent: float
+    regressed: bool
+
+    def describe(self) -> str:
+        """One human-readable line for the CLI output."""
+        verdict = "REGRESSION" if self.regressed else "ok"
+        return (
+            f"{self.name}: speedup {self.current_speedup:.2f}x vs baseline "
+            f"{self.baseline_speedup:.2f}x ({self.change_percent:+.1f}%) "
+            f"[{verdict}]"
+        )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """All unit comparisons plus the overall verdict."""
+
+    threshold_percent: float
+    units: List[UnitComparison] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[UnitComparison]:
+        return [unit for unit in self.units if unit.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def _unit_speedup(unit: Dict[str, Any], source: str) -> float:
+    try:
+        speedup = float(unit["speedup"])
+    except (KeyError, TypeError, ValueError) as error:
+        raise BenchmarkError(
+            f"{source} unit {unit.get('name', '?')!r} has no usable "
+            "'speedup' field"
+        ) from error
+    if speedup <= 0:
+        raise BenchmarkError(
+            f"{source} unit {unit.get('name', '?')!r} has non-positive "
+            f"speedup {speedup}"
+        )
+    return speedup
+
+
+def compare_reports(
+    current: Dict[str, Any],
+    baseline: Dict[str, Any],
+    threshold_percent: float,
+) -> ComparisonResult:
+    """Compare a fresh report against a baseline, unit by unit.
+
+    Every baseline unit must be present in the current report (a
+    vanished unit would silently un-gate it); extra current units are
+    fine — they are simply new and have nothing to compare against.
+
+    Raises:
+        BenchmarkError: on mismatched or malformed units.
+    """
+    if threshold_percent < 0:
+        raise BenchmarkError(
+            f"threshold must be non-negative, got {threshold_percent}"
+        )
+    current_units = {
+        unit["name"]: unit for unit in current.get("units", [])
+    }
+    comparisons: List[UnitComparison] = []
+    for unit in baseline["units"]:
+        name = unit["name"]
+        measured = current_units.get(name)
+        if measured is None:
+            raise BenchmarkError(
+                f"baseline unit {name!r} is missing from the current run; "
+                "the suites do not match (regenerate the baseline?)"
+            )
+        base_speedup = _unit_speedup(unit, "baseline")
+        cur_speedup = _unit_speedup(measured, "current")
+        change = (cur_speedup / base_speedup - 1.0) * 100.0
+        regressed = cur_speedup < base_speedup * (1.0 - threshold_percent / 100.0)
+        comparisons.append(
+            UnitComparison(
+                name=name,
+                baseline_speedup=base_speedup,
+                current_speedup=cur_speedup,
+                change_percent=change,
+                regressed=regressed,
+            )
+        )
+    return ComparisonResult(threshold_percent=threshold_percent, units=comparisons)

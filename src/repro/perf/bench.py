@@ -1,0 +1,320 @@
+"""``repro-bench``: the pinned performance suite and its CLI.
+
+Runs a fixed set of benchmark units — the simulation hot paths behind
+the figures, each timed under both the scalar oracle and the vector
+kernel — and writes a machine-readable ``BENCH_<rev>.json`` report:
+wall time, references/second and the vector/scalar speedup per unit,
+plus peak RSS for the process.
+
+The suite is *pinned*: unit names, workloads, trace lengths and TLB
+geometries are constants of this module, so reports from different
+revisions are comparable and a committed ``benchmarks/baseline.json``
+stays meaningful.  The headline unit is the paper's 32-entry two-way
+set-associative single-size simulation (Table 5.1's largest
+conventional TLB), which is where the batched stack-distance kernel
+pays off most.
+
+``repro-bench --check --baseline benchmarks/baseline.json`` compares
+the fresh report against the committed one (see
+:mod:`repro.perf.baseline`) and exits 1 on regression, 2 on a broken
+baseline — the contract CI's ``bench-smoke`` job gates on.
+
+Determinism: every trace comes from
+:func:`repro.workloads.registry.generate_trace` seeded by the ``--seed``
+argument — benchmark inputs never depend on global RNG state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import resource
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import BenchmarkError, ReproError
+from repro.perf.baseline import REPORT_SCHEMA, compare_reports, load_report
+from repro.perf.kernels import KERNEL_SCALAR, KERNEL_VECTOR
+from repro.policy.dynamic_ws import dynamic_average_working_set
+from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.sim.driver import run_single_size, run_two_sizes
+from repro.stacksim.lru_stack import lru_miss_curve
+from repro.trace.record import Trace
+from repro.types import PAIR_4KB_32KB
+from repro.workloads.registry import generate_trace
+
+#: Trace lengths for the full and --quick suites.
+FULL_LENGTH = 400_000
+QUICK_LENGTH = 60_000
+
+#: Timing repeats (the minimum is reported) for full and --quick runs.
+FULL_REPEATS = 3
+QUICK_REPEATS = 2
+
+_PAGE_4KB = SingleSizeScheme(4096)
+_CONFIG_32E_2WAY = TLBConfig(entries=32, associativity=2)
+_CONFIG_16E_FA = TLBConfig(entries=16)
+_TWO_SIZE = TwoSizeScheme(pair=PAIR_4KB_32KB, window=10_000)
+
+
+@dataclass(frozen=True)
+class BenchUnit:
+    """One pinned benchmark: a workload driven through one hot path.
+
+    Attributes:
+        name: stable identifier used for baseline matching.
+        workload: registry workload the trace comes from.
+        runner: callable executing the unit once under a given kernel.
+    """
+
+    name: str
+    workload: str
+    runner: Callable[[Trace, str], Any]
+
+
+def _unit_single_size(config: TLBConfig) -> Callable[[Trace, str], Any]:
+    def run(trace: Trace, kernel: str) -> Any:
+        return run_single_size(trace, _PAGE_4KB, config, kernel=kernel)
+
+    return run
+
+
+def _unit_curve(trace: Trace, kernel: str) -> Any:
+    pages = trace.addresses >> np.uint32(12)
+    return lru_miss_curve(pages, max_capacity=64, kernel=kernel)
+
+
+def _unit_two_size(trace: Trace, kernel: str) -> Any:
+    return run_two_sizes(trace, _TWO_SIZE, [_CONFIG_16E_FA], kernel=kernel)
+
+
+def _unit_working_set(trace: Trace, kernel: str) -> Any:
+    return dynamic_average_working_set(
+        trace, PAIR_4KB_32KB, 10_000, kernel=kernel
+    )
+
+
+#: The pinned suite, in reporting order.  The first unit is the headline
+#: single-size simulation the acceptance gate refers to.
+SUITE = (
+    BenchUnit("single_size/32e-2way", "matrix300", _unit_single_size(_CONFIG_32E_2WAY)),
+    BenchUnit("single_size/16e-FA", "matrix300", _unit_single_size(_CONFIG_16E_FA)),
+    BenchUnit("stacksim/curve-64", "espresso", _unit_curve),
+    BenchUnit("policy/two-size-16e-FA", "espresso", _unit_two_size),
+    BenchUnit("policy/working-set", "matrix300", _unit_working_set),
+)
+
+
+def _time_kernel(
+    unit: BenchUnit, trace: Trace, kernel: str, repeats: int
+) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        unit.runner(trace, kernel)
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_suite(
+    *,
+    quick: bool = False,
+    seed: int = 0,
+    repeats: Optional[int] = None,
+    revision: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Execute the pinned suite and return the report as a dict."""
+    length = QUICK_LENGTH if quick else FULL_LENGTH
+    if repeats is None:
+        repeats = QUICK_REPEATS if quick else FULL_REPEATS
+    if repeats <= 0:
+        raise BenchmarkError(f"repeats must be positive, got {repeats}")
+
+    started = time.perf_counter()
+    units: List[Dict[str, Any]] = []
+    traces: Dict[str, Trace] = {}
+    for unit in SUITE:
+        trace = traces.get(unit.workload)
+        if trace is None:
+            trace = generate_trace(unit.workload, length, seed)
+            traces[unit.workload] = trace
+        scalar_seconds = _time_kernel(unit, trace, KERNEL_SCALAR, repeats)
+        vector_seconds = _time_kernel(unit, trace, KERNEL_VECTOR, repeats)
+        references = len(trace)
+        units.append(
+            {
+                "name": unit.name,
+                "workload": unit.workload,
+                "references": references,
+                "repeats": repeats,
+                "scalar_seconds": scalar_seconds,
+                "vector_seconds": vector_seconds,
+                "scalar_refs_per_sec": references / scalar_seconds,
+                "vector_refs_per_sec": references / vector_seconds,
+                "speedup": scalar_seconds / vector_seconds,
+            }
+        )
+
+    return {
+        "schema": REPORT_SCHEMA,
+        "revision": revision or detect_revision(),
+        "quick": quick,
+        "seed": seed,
+        "trace_length": length,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": f"{platform.system()}-{platform.machine()}",
+        "peak_rss_kb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss,
+        "wall_seconds": time.perf_counter() - started,
+        "units": units,
+    }
+
+
+def detect_revision() -> str:
+    """Short git revision of the working tree, or ``"local"``."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "local"
+    if proc.returncode != 0:
+        return "local"
+    return proc.stdout.strip() or "local"
+
+
+def write_report(report: Dict[str, Any], output_dir: Path) -> Path:
+    """Write ``BENCH_<rev>.json`` under ``output_dir``; return the path."""
+    output_dir.mkdir(parents=True, exist_ok=True)
+    path = output_dir / f"BENCH_{report['revision']}.json"
+    path.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    return path
+
+
+def _render_report(report: Dict[str, Any]) -> str:
+    lines = [
+        f"repro-bench @ {report['revision']} "
+        f"({'quick' if report['quick'] else 'full'}, "
+        f"{report['trace_length']} refs, numpy {report['numpy']})"
+    ]
+    for unit in report["units"]:
+        lines.append(
+            f"  {unit['name']:24s} [{unit['workload']}] "
+            f"scalar {unit['scalar_seconds']:.3f}s "
+            f"vector {unit['vector_seconds']:.3f}s "
+            f"speedup {unit['speedup']:.1f}x "
+            f"({unit['vector_refs_per_sec']:,.0f} refs/s)"
+        )
+    lines.append(
+        f"  wall {report['wall_seconds']:.1f}s, "
+        f"peak RSS {report['peak_rss_kb']} KB"
+    )
+    return "\n".join(lines)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Run the pinned simulation benchmark suite.",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"short traces ({QUICK_LENGTH} refs) for smoke runs and CI",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="trace generation seed (default 0)"
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timing repeats per kernel (default: 3 full, 2 quick)",
+    )
+    parser.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path("."),
+        help="directory for the BENCH_<rev>.json report (default: CWD)",
+    )
+    parser.add_argument(
+        "--rev",
+        default=None,
+        help="revision label for the report (default: git short hash)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against --baseline and exit 1 on regression",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline report for --check (e.g. benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=10.0,
+        help="allowed speedup drop in percent before failing (default 10)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list the pinned suite units and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point.  Exit 0 on success, 1 on regression, 2 on error."""
+    args = _build_parser().parse_args(argv)
+    if args.list:
+        for unit in SUITE:
+            print(f"{unit.name}  [{unit.workload}]")
+        return 0
+    try:
+        if args.check and args.baseline is None:
+            raise BenchmarkError("--check requires --baseline <file>")
+        baseline = load_report(args.baseline) if args.check else None
+        report = run_suite(
+            quick=args.quick,
+            seed=args.seed,
+            repeats=args.repeats,
+            revision=args.rev,
+        )
+        path = write_report(report, args.output_dir)
+        print(_render_report(report))
+        print(f"report written to {path}")
+        if baseline is not None:
+            result = compare_reports(report, baseline, args.threshold)
+            for unit in result.units:
+                print(unit.describe())
+            if not result.ok:
+                names = ", ".join(unit.name for unit in result.regressions)
+                print(
+                    f"repro-bench: FAIL — speedup regression beyond "
+                    f"{args.threshold:.0f}% in: {names}",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"check passed (threshold {args.threshold:.0f}%)")
+    except ReproError as error:
+        print(f"repro-bench: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module execution path
+    sys.exit(main())

@@ -16,6 +16,11 @@ from repro.policy.promotion import (
     StaticLargePolicy,
     StaticSmallPolicy,
 )
+from repro.policy.vector import (
+    PolicyDecisions,
+    policy_decisions,
+    supports_vector_decisions,
+)
 from repro.policy.window import SlidingBlockWindow
 
 __all__ = [
@@ -24,8 +29,11 @@ __all__ = [
     "ExplicitAssignmentPolicy",
     "PageDecision",
     "PageSizeAssignmentPolicy",
+    "PolicyDecisions",
     "SlidingBlockWindow",
     "StaticLargePolicy",
     "StaticSmallPolicy",
     "dynamic_average_working_set",
+    "policy_decisions",
+    "supports_vector_decisions",
 ]

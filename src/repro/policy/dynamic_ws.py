@@ -28,6 +28,7 @@ from typing import Dict, Optional, Set
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.perf.kernels import KERNEL_AUTO, KERNEL_VECTOR, resolve_kernel
 from repro.policy.window import SlidingBlockWindow
 from repro.trace.record import Trace
 from repro.types import PageSizePair
@@ -57,6 +58,7 @@ def dynamic_average_working_set(
     *,
     promote_fraction: float = 0.5,
     demote_fraction: Optional[float] = None,
+    kernel: str = KERNEL_AUTO,
 ) -> DynamicWorkingSetResult:
     """Average working-set size (bytes) under the promotion policy.
 
@@ -68,6 +70,10 @@ def dynamic_average_working_set(
             window to promote it (paper: 0.5, "half or more").
         demote_fraction: occupancy fraction below which a promoted chunk
             demotes; defaults to ``promote_fraction`` (no hysteresis).
+        kernel: ``"scalar"`` for the incremental sweep below,
+            ``"vector"`` for the event-stream batch kernel
+            (:mod:`repro.policy.vector`), ``"auto"`` (default) for
+            vector.  Both produce identical results.
     """
     if not 0 < promote_fraction <= 1:
         raise ConfigurationError(
@@ -83,6 +89,18 @@ def dynamic_average_working_set(
                 "demote_fraction must lie in [0, promote_fraction]"
             )
         demote_blocks = math.ceil(blocks_per_chunk * demote_fraction)
+
+    if resolve_kernel(kernel) == KERNEL_VECTOR:
+        from repro.policy.vector import dynamic_working_set_events
+
+        block_array = np.asarray(trace.addresses) >> np.uint32(pair.small_shift)
+        current, _, promotions, demotions = dynamic_working_set_events(
+            block_array, pair, window, promote_blocks, demote_blocks
+        )
+        total = current.size
+        average = float(current.sum()) / total if total else 0.0
+        peak = int(current.max()) if total else 0
+        return DynamicWorkingSetResult(average, peak, promotions, demotions)
 
     small = pair.small
     large = pair.large

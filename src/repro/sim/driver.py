@@ -28,11 +28,19 @@ from repro.mem.misshandler import (
     TWO_SIZE_PENALTY_FACTOR,
 )
 from repro.metrics.cpi import TLBPerformance
+from repro.perf.kernels import (
+    KERNEL_AUTO,
+    KERNEL_VECTOR,
+    resolve_kernel,
+    stack_depths,
+)
 from repro.policy.promotion import (
     DynamicPromotionPolicy,
     PageSizeAssignmentPolicy,
 )
+from repro.policy.vector import policy_decisions, supports_vector_decisions
 from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.tlb.indexing import IndexingScheme, ProbeStrategy
 from repro.trace.record import Trace
 from repro.types import log2_exact
 
@@ -146,9 +154,55 @@ def run_single_size(
     config: TLBConfig,
     *,
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    kernel: str = KERNEL_AUTO,
 ) -> RunResult:
-    """Simulate one single-page-size TLB over ``trace``."""
+    """Simulate one single-page-size TLB over ``trace``.
+
+    The vector kernel replays the run as a batched stack-distance pass
+    (:mod:`repro.perf.kernels`): under LRU replacement each set is an
+    independent recency stack, so misses at this associativity fall out
+    of one grouped depth computation, and reprobes follow from the probe
+    strategy (in single-size mode the large-page probe of an
+    EXACT_INDEX sequential lookup never hits, so every miss costs
+    exactly one reprobe).  Non-LRU replacement is stateful and stays on
+    the scalar model; ``kernel="auto"`` falls back silently,
+    ``kernel="vector"`` raises.
+    """
     faultinject.check("sim.driver.run_single_size")
+    vector_ok = config.replacement == "lru"
+    if resolve_kernel(kernel, vector_supported=vector_ok) == KERNEL_VECTOR:
+        pages = np.asarray(
+            trace.addresses >> np.uint32(log2_exact(scheme.page_size)),
+            dtype=np.int64,
+        )
+        if config.fully_associative:
+            depths = stack_depths(pages)
+            capacity = config.entries
+            sequential_exact = False
+        else:
+            sets = config.entries // config.associativity
+            depths = stack_depths(pages, groups=pages & (sets - 1))
+            capacity = config.associativity
+            sequential_exact = (
+                config.scheme is IndexingScheme.EXACT_INDEX
+                and config.probe_strategy is ProbeStrategy.SEQUENTIAL
+            )
+        misses = depths.misses(capacity)
+        reprobes = misses if sequential_exact else 0
+        return RunResult(
+            trace_name=trace.name,
+            scheme_label=scheme.label,
+            config=config,
+            references=len(trace),
+            misses=misses,
+            large_misses=0,
+            reprobes=reprobes,
+            invalidations=0,
+            promotions=0,
+            demotions=0,
+            refs_per_instruction=trace.refs_per_instruction,
+            miss_penalty_cycles=base_penalty,
+        )
     tlb = config.build()
     pages = (trace.addresses >> np.uint32(log2_exact(scheme.page_size))).tolist()
     access = tlb.access_single
@@ -177,12 +231,21 @@ def run_with_policy(
     *,
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
     penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    kernel: str = KERNEL_AUTO,
 ) -> List[RunResult]:
     """Drive several TLB configs through one policy-managed trace pass.
 
     The policy sees each reference exactly once; every TLB model sees
     the identical (block, chunk, size) stream and the identical shootdown
     events, so results across configs are directly comparable.
+
+    The vector kernel precomputes the policy's entire decision stream as
+    arrays (:mod:`repro.policy.vector`) and replays it, eliminating the
+    per-reference window bookkeeping; it applies only to supported,
+    fresh policy instances (``supports_vector_decisions``) and leaves
+    ``policy`` untouched — the returned results carry the
+    promotion/demotion counts.  ``kernel="auto"`` (default) falls back
+    to the scalar pass otherwise; ``kernel="vector"`` raises.
     """
     if not configs:
         raise ConfigurationError("run_with_policy needs at least one TLBConfig")
@@ -190,29 +253,67 @@ def run_with_policy(
     tlbs = [config.build() for config in configs]
     pair = policy.pair
     blocks_shift = log2_exact(pair.blocks_per_chunk)
-    blocks = (trace.addresses >> np.uint32(pair.small_shift)).tolist()
+    block_array = trace.addresses >> np.uint32(pair.small_shift)
+    blocks = block_array.tolist()
     blocks_per_chunk = pair.blocks_per_chunk
-    decide = policy.access_block
 
-    for block in blocks:
-        decision = decide(block)
-        promoted = decision.promoted_chunk
-        demoted = decision.demoted_chunk
-        if promoted is not None or demoted is not None:
+    vector_ok = supports_vector_decisions(policy)
+    if resolve_kernel(kernel, vector_supported=vector_ok) == KERNEL_VECTOR:
+        decisions = policy_decisions(policy, block_array)
+        large_flags = decisions.large.tolist()
+        event_refs = np.nonzero(
+            (decisions.promoted >= 0) | (decisions.demoted >= 0)
+        )[0]
+        events = [
+            (
+                int(ref),
+                int(decisions.promoted[ref]),
+                int(decisions.demoted[ref]),
+            )
+            for ref in event_refs
+        ]
+        events.append((-1, -1, -1))  # sentinel: no further events
+        next_event = 0
+        event_ref = events[0][0]
+        for index, block in enumerate(blocks):
+            if index == event_ref:
+                _, promoted, demoted = events[next_event]
+                for tlb in tlbs:
+                    if demoted >= 0:
+                        tlb.invalidate_large_page(demoted)
+                    if promoted >= 0:
+                        tlb.invalidate_small_pages_of_chunk(
+                            promoted, blocks_per_chunk
+                        )
+                next_event += 1
+                event_ref = events[next_event][0]
+            chunk = block >> blocks_shift
+            large = large_flags[index]
             for tlb in tlbs:
-                if demoted is not None:
-                    tlb.invalidate_large_page(demoted)
-                if promoted is not None:
-                    tlb.invalidate_small_pages_of_chunk(
-                        promoted, blocks_per_chunk
-                    )
-        chunk = block >> blocks_shift
-        large = decision.large
-        for tlb in tlbs:
-            tlb.access(block, chunk, large)
+                tlb.access(block, chunk, large)
+        promotions = decisions.promotions
+        demotions = decisions.demotions
+    else:
+        decide = policy.access_block
+        for block in blocks:
+            decision = decide(block)
+            promoted = decision.promoted_chunk
+            demoted = decision.demoted_chunk
+            if promoted is not None or demoted is not None:
+                for tlb in tlbs:
+                    if demoted is not None:
+                        tlb.invalidate_large_page(demoted)
+                    if promoted is not None:
+                        tlb.invalidate_small_pages_of_chunk(
+                            promoted, blocks_per_chunk
+                        )
+            chunk = block >> blocks_shift
+            large = decision.large
+            for tlb in tlbs:
+                tlb.access(block, chunk, large)
+        promotions = getattr(policy, "promotions", 0)
+        demotions = getattr(policy, "demotions", 0)
 
-    promotions = getattr(policy, "promotions", 0)
-    demotions = getattr(policy, "demotions", 0)
     penalty = base_penalty * penalty_factor
     return [
         RunResult(
@@ -241,6 +342,7 @@ def run_two_sizes(
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
     penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
     policy: Optional[PageSizeAssignmentPolicy] = None,
+    kernel: str = KERNEL_AUTO,
 ) -> List[RunResult]:
     """Simulate the paper's two-page-size scheme over ``trace``.
 
@@ -261,4 +363,5 @@ def run_two_sizes(
         configs,
         base_penalty=base_penalty,
         penalty_factor=penalty_factor,
+        kernel=kernel,
     )

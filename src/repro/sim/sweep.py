@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mem.misshandler import SINGLE_SIZE_PENALTY_CYCLES
+from repro.perf.kernels import KERNEL_AUTO
 from repro.robustness import faultinject
 from repro.robustness.journal import RunJournal
 from repro.sim.config import SingleSizeScheme, TLBConfig
@@ -48,6 +49,7 @@ def sweep_single_size(
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
     index_shift: int = 0,
     journal: Optional[RunJournal] = None,
+    kernel: str = KERNEL_AUTO,
 ) -> Dict[Tuple[int, str], RunResult]:
     """Miss counts for every (page size, TLB shape) pair.
 
@@ -93,14 +95,14 @@ def sweep_single_size(
         for sets, group in by_sets.items():
             if sets == 1:
                 depth = max(config.entries for config in group)
-                curve = lru_miss_curve(pages, max_capacity=depth)
+                curve = lru_miss_curve(pages, max_capacity=depth, kernel=kernel)
             else:
                 depth = max(
                     config.entries // sets for config in group
                 )
                 indices = (pages >> np.uint32(index_shift)) & np.uint32(sets - 1)
                 curve = per_set_miss_curve(
-                    indices, pages, max_associativity=depth
+                    indices, pages, max_associativity=depth, kernel=kernel
                 )
             for config in group:
                 ways = config.entries if sets == 1 else config.entries // sets

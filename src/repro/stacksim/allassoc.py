@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mem.address import page_numbers_array
+from repro.perf.kernels import KERNEL_AUTO
 from repro.stacksim.lru_stack import MissCurve, lru_miss_curve, per_set_miss_curve
 from repro.trace.record import Trace
 from repro.types import is_power_of_two, validate_page_size
@@ -50,6 +51,7 @@ def sweep_single_page_size(
     set_counts: Sequence[int],
     *,
     max_associativity: int = 16,
+    kernel: str = KERNEL_AUTO,
 ) -> Dict[Tuple[int, int], GeometryResult]:
     """Simulate every (page size, set count) pair in one pass each.
 
@@ -74,11 +76,16 @@ def sweep_single_page_size(
         pages = page_numbers_array(trace.addresses, page_size)
         for sets in set_counts:
             if sets == 1:
-                curve = lru_miss_curve(pages, max_capacity=max_associativity)
+                curve = lru_miss_curve(
+                    pages, max_capacity=max_associativity, kernel=kernel
+                )
             else:
                 indices = pages & np.uint32(sets - 1)
                 curve = per_set_miss_curve(
-                    indices, pages, max_associativity=max_associativity
+                    indices,
+                    pages,
+                    max_associativity=max_associativity,
+                    kernel=kernel,
                 )
             results[(page_size, sets)] = GeometryResult(page_size, sets, curve)
     return results

@@ -23,6 +23,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
+from repro.perf.kernels import KERNEL_AUTO, KERNEL_VECTOR, resolve_kernel, stack_depths
 
 
 @dataclass(frozen=True)
@@ -73,7 +74,12 @@ class MissCurve:
             )
 
 
-def lru_miss_curve(keys: Iterable[int], max_capacity: int = 64) -> MissCurve:
+def lru_miss_curve(
+    keys: Iterable[int],
+    max_capacity: int = 64,
+    *,
+    kernel: str = KERNEL_AUTO,
+) -> MissCurve:
     """Simulate a fully associative LRU buffer over ``keys`` at all sizes.
 
     Args:
@@ -81,6 +87,10 @@ def lru_miss_curve(keys: Iterable[int], max_capacity: int = 64) -> MissCurve:
             hashable integers work; numpy arrays are accepted.
         max_capacity: deepest stack depth to classify exactly; miss counts
             are valid for capacities 1..max_capacity.
+        kernel: ``"scalar"`` for the bounded-stack reference loop,
+            ``"vector"`` for the numpy batch kernel
+            (:mod:`repro.perf.kernels`), ``"auto"`` (default) for vector.
+            Both produce identical curves.
 
     Returns:
         A :class:`MissCurve` valid for every capacity up to the bound.
@@ -89,6 +99,10 @@ def lru_miss_curve(keys: Iterable[int], max_capacity: int = 64) -> MissCurve:
         raise ConfigurationError(
             f"max_capacity must be positive, got {max_capacity}"
         )
+    if resolve_kernel(kernel) == KERNEL_VECTOR:
+        result = stack_depths(np.asarray(keys, dtype=np.int64))
+        depth_hits, cold, beyond = result.depth_histogram(max_capacity)
+        return MissCurve(depth_hits, cold, beyond, result.total)
     if isinstance(keys, np.ndarray):
         keys = keys.tolist()
 
@@ -124,6 +138,8 @@ def per_set_miss_curve(
     set_indices: Sequence[int],
     tags: Sequence[int],
     max_associativity: int = 16,
+    *,
+    kernel: str = KERNEL_AUTO,
 ) -> MissCurve:
     """Simulate set-associative LRU at every associativity in one pass.
 
@@ -138,6 +154,10 @@ def per_set_miss_curve(
         set_indices: set index of each reference.
         tags: tag compared within the set (typically the page number).
         max_associativity: deepest within-set depth to classify exactly.
+        kernel: ``"scalar"`` for the per-set bounded-stack reference
+            loop, ``"vector"`` for the grouped numpy batch kernel,
+            ``"auto"`` (default) for vector.  Both produce identical
+            curves.
 
     Returns:
         A :class:`MissCurve` whose "capacity" axis is the associativity.
@@ -146,12 +166,19 @@ def per_set_miss_curve(
         raise ConfigurationError(
             f"max_associativity must be positive, got {max_associativity}"
         )
+    if len(set_indices) != len(tags):
+        raise SimulationError("set_indices and tags must have equal length")
+    if resolve_kernel(kernel) == KERNEL_VECTOR:
+        result = stack_depths(
+            np.asarray(tags, dtype=np.int64),
+            groups=np.asarray(set_indices, dtype=np.int64),
+        )
+        depth_hits, cold, beyond = result.depth_histogram(max_associativity)
+        return MissCurve(depth_hits, cold, beyond, result.total)
     if isinstance(set_indices, np.ndarray):
         set_indices = set_indices.tolist()
     if isinstance(tags, np.ndarray):
         tags = tags.tolist()
-    if len(set_indices) != len(tags):
-        raise SimulationError("set_indices and tags must have equal length")
 
     depth_hits = np.zeros(max_associativity, dtype=np.int64)
     stacks: dict = {}

@@ -6,7 +6,6 @@ import pytest
 
 from repro.analysis import (
     RECOMMEND_BASELINE,
-    RECOMMEND_TWO_SIZES,
     advise,
 )
 from repro.workloads import generate_trace

@@ -11,7 +11,6 @@ the global invariants that no single module can see on its own:
 * trace serialisation must be transparent to simulation results.
 """
 
-import numpy as np
 import pytest
 
 from repro.mem import MemoryManagementUnit, two_size_penalty

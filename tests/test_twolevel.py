@@ -1,7 +1,6 @@
 """Tests for the two-level TLB hierarchy and tree-PLRU replacement."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -5,7 +5,7 @@ import pytest
 
 from repro.errors import WorkloadError
 from repro.stacksim import average_working_set_bytes
-from repro.trace import KIND_IFETCH, KIND_STORE, compute_statistics
+from repro.trace import KIND_IFETCH, compute_statistics
 from repro.types import KB, MB, PAGE_4KB
 from repro.workloads import (
     CATEGORY_LARGE,
