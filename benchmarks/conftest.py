@@ -5,8 +5,13 @@ default experiment scale (400K-reference traces, T = 50K; override with
 ``REPRO_TRACE_LENGTH`` / ``REPRO_WINDOW``), prints the paper-style
 rendering, and archives it under ``results/``.  ``pytest-benchmark``
 times the run; the printed tables are the scientific output.
+
+``--jobs N`` (or ``REPRO_JOBS``) spreads each experiment's per-workload
+measurement across worker processes; rendered outputs are identical at
+any job count, only the wall time changes.
 """
 
+from dataclasses import replace
 from pathlib import Path
 
 import pytest
@@ -16,10 +21,27 @@ from repro.experiments import default_scale
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for per-workload measurement "
+            "(0 = one per CPU; default REPRO_JOBS or serial)"
+        ),
+    )
+
+
 @pytest.fixture(scope="session")
-def scale():
+def scale(request):
     """The experiment scale every benchmark runs at."""
-    return default_scale()
+    base = default_scale()
+    jobs = request.config.getoption("--jobs")
+    if jobs is not None:
+        base = replace(base, jobs=jobs)
+    return base
 
 
 @pytest.fixture(scope="session")

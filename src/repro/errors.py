@@ -77,6 +77,33 @@ class DeadlineExceededError(ExperimentError):
     """A per-experiment wall-clock deadline expired before completion."""
 
 
+class ParallelError(ReproError):
+    """The parallel experiment engine was driven incorrectly.
+
+    Examples: a dependency cycle among unit specs, a unit naming an
+    unknown dependency, or a worker pool used after it was closed.
+    """
+
+
+class WorkerCrashError(ParallelError):
+    """A worker process died without reporting a result.
+
+    Raised (or recorded as a unit failure) when a forked worker
+    disappears mid-unit — segfault, OOM kill, ``os._exit`` — rather
+    than failing with a Python exception it could report over the
+    result queue.
+    """
+
+
+class CacheError(ReproError):
+    """A result-cache directory could not be created or written.
+
+    Corrupt cache *entries* never raise — they are discarded and
+    recomputed — but an unusable cache root is a configuration problem
+    worth surfacing.
+    """
+
+
 class JournalError(ReproError):
     """A run journal is unreadable, corrupt, or from an incompatible run.
 

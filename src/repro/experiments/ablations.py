@@ -76,6 +76,7 @@ def run_threshold_ablation(
     if scale is None:
         scale = default_scale()
     config = TLBConfig(16)
+    cache = scale.sim_cache()
     cpi: Dict[str, Dict[float, float]] = {}
     ws: Dict[str, Dict[float, float]] = {}
     from repro.stacksim.working_set import average_working_set_bytes
@@ -91,7 +92,9 @@ def run_threshold_ablation(
             scheme = TwoSizeScheme(
                 window=scale.window, promote_fraction=fraction
             )
-            (result,) = run_two_sizes(trace, scheme, [config])
+            (result,) = run_two_sizes(
+                trace, scheme, [config], cache=cache
+            )
             cpi[name][fraction] = result.cpi_tlb
             dynamic = dynamic_average_working_set(
                 trace, PAIR_4KB_32KB, scale.window, promote_fraction=fraction
@@ -142,16 +145,19 @@ def run_penalty_ablation(
     if scale is None:
         scale = default_scale()
     config = TLBConfig(16)
+    cache = scale.sim_cache()
     baseline: Dict[str, float] = {}
     cpi: Dict[str, Dict[float, float]] = {}
     for name in ABLATION_WORKLOADS:
         trace = scale.trace(name)
         baseline[name] = run_single_size(
-            trace, SingleSizeScheme(PAGE_4KB), config
+            trace, SingleSizeScheme(PAGE_4KB), config, cache=cache
         ).cpi_tlb
         scheme = TwoSizeScheme(window=scale.window)
         # One simulation; the penalty is a post-hoc scalar.
-        (result,) = run_two_sizes(trace, scheme, [config], penalty_factor=1.0)
+        (result,) = run_two_sizes(
+            trace, scheme, [config], penalty_factor=1.0, cache=cache
+        )
         base_cpi = result.cpi_tlb
         cpi[name] = {factor: base_cpi * factor for factor in factors}
     return PenaltyAblation(baseline, cpi, tuple(factors), scale)
@@ -201,13 +207,14 @@ def run_probe_ablation(scale: ExperimentScale = None) -> ProbeAblation:
         IndexingScheme.EXACT_INDEX,
         probe_strategy=ProbeStrategy.SEQUENTIAL,
     )
+    cache = scale.sim_cache()
     misses: Dict[str, int] = {}
     reprobes: Dict[str, int] = {}
     references: Dict[str, int] = {}
     for name in ABLATION_WORKLOADS:
         trace = scale.trace(name)
         scheme = TwoSizeScheme(window=scale.window)
-        (result,) = run_two_sizes(trace, scheme, [config])
+        (result,) = run_two_sizes(trace, scheme, [config], cache=cache)
         misses[name] = result.misses
         reprobes[name] = result.reprobes
         references[name] = result.references
@@ -241,13 +248,16 @@ def run_replacement_ablation(
     """Compare replacement policies on the ablation workloads."""
     if scale is None:
         scale = default_scale()
+    cache = scale.sim_cache()
     cpi: Dict[str, Dict[str, float]] = {}
     for name in ABLATION_WORKLOADS:
         trace = scale.trace(name)
         cpi[name] = {}
         for policy in policies:
             config = TLBConfig(16, replacement=policy)
-            result = run_single_size(trace, SingleSizeScheme(PAGE_4KB), config)
+            result = run_single_size(
+                trace, SingleSizeScheme(PAGE_4KB), config, cache=cache
+            )
             cpi[name][policy] = result.cpi_tlb
     return ReplacementAblation(cpi, tuple(policies), scale)
 
@@ -285,13 +295,14 @@ def run_split_ablation(scale: ExperimentScale = None) -> SplitAblation:
     from repro.tlb.split import SplitTLB
     from repro.types import log2_exact
 
+    cache = scale.sim_cache()
     unified_cpi: Dict[str, float] = {}
     split_cpi: Dict[str, float] = {}
     utilisation: Dict[str, float] = {}
     for name in ABLATION_WORKLOADS:
         trace = scale.trace(name)
         scheme = TwoSizeScheme(window=scale.window)
-        (unified,) = run_two_sizes(trace, scheme, [TLBConfig(16)])
+        (unified,) = run_two_sizes(trace, scheme, [TLBConfig(16)], cache=cache)
         unified_cpi[name] = unified.cpi_tlb
 
         # The split composite is not a TLBConfig shape, so drive it
@@ -367,13 +378,14 @@ def run_twolevel_ablation(
 
     if scale is None:
         scale = default_scale()
+    cache = scale.sim_cache()
     flat_cpi: Dict[str, float] = {}
     hierarchy_cpi: Dict[str, float] = {}
     l2_rate: Dict[str, float] = {}
     for name in ABLATION_WORKLOADS:
         trace = scale.trace(name)
         scheme = TwoSizeScheme(window=scale.window)
-        (flat,) = run_two_sizes(trace, scheme, [TLBConfig(16)])
+        (flat,) = run_two_sizes(trace, scheme, [TLBConfig(16)], cache=cache)
         flat_cpi[name] = flat.cpi_tlb
 
         hierarchy = TwoLevelTLB(
@@ -451,12 +463,13 @@ def run_walkcost_ablation(scale: ExperimentScale = None) -> WalkCostAblation:
         scale = default_scale()
     model = WalkCycleModel()
     config = TLBConfig(16)
+    cache = scale.sim_cache()
     scheme = TwoSizeScheme(window=scale.window)
     fractions: Dict[str, float] = {}
     factors: Dict[str, float] = {}
     for workload in all_workloads():
         trace = scale.trace(workload.name)
-        (result,) = run_two_sizes(trace, scheme, [config])
+        (result,) = run_two_sizes(trace, scheme, [config], cache=cache)
         fraction = (
             result.large_misses / result.misses if result.misses else 0.0
         )
@@ -522,13 +535,14 @@ def run_multiprogramming_ablation(
     if scale is None:
         scale = default_scale()
     config = TLBConfig(16)
+    cache = scale.sim_cache()
     solo: Dict[str, float] = {}
     traces = []
     for name in programs:
         trace = scale.trace(name)
         traces.append(trace)
         solo[name] = run_single_size(
-            trace, SingleSizeScheme(PAGE_4KB), config
+            trace, SingleSizeScheme(PAGE_4KB), config, cache=cache
         ).cpi_tlb
 
     mixed: Dict[Tuple[str, int], float] = {}
@@ -541,7 +555,7 @@ def run_multiprogramming_ablation(
 
     disjoint = round_robin_mix(traces, quantum=quanta[-1])
     disjoint_cpi = run_single_size(
-        disjoint, SingleSizeScheme(PAGE_4KB), config
+        disjoint, SingleSizeScheme(PAGE_4KB), config, cache=cache
     ).cpi_tlb
     return MultiprogrammingAblation(
         solo, mixed, disjoint_cpi, tuple(quanta), tuple(programs), scale

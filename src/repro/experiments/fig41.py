@@ -94,22 +94,29 @@ def run_fig41(
     """Measure Figure 4.1 at the given scale."""
     if scale is None:
         scale = default_scale()
-    from repro.workloads.registry import all_workloads
+    from repro.experiments.scale import map_workloads
+    from repro.workloads.registry import workload_names
 
-    values: Dict[str, Dict[int, float]] = {}
-    baselines: Dict[str, float] = {}
     all_sizes = [PAGE_4KB] + list(page_sizes)
-    for workload in all_workloads():
-        trace = scale.trace(workload.name)
-        measured = {
+
+    def measure(name: str) -> Dict[int, float]:
+        trace = scale.trace(name)
+        return {
             size: average_working_set_bytes(trace, size, [scale.window])[
                 scale.window
             ]
             for size in all_sizes
         }
+
+    values: Dict[str, Dict[int, float]] = {}
+    baselines: Dict[str, float] = {}
+    names = workload_names()
+    for name, measured in zip(
+        names, map_workloads(measure, names, jobs=scale.jobs)
+    ):
         baseline = measured[PAGE_4KB]
-        baselines[workload.name] = baseline
-        values[workload.name] = {
+        baselines[name] = baseline
+        values[name] = {
             size: (measured[size] / baseline if baseline else 1.0)
             for size in page_sizes
         }

@@ -109,29 +109,34 @@ def run_fig42(
     """Measure Figure 4.2 at the given scale."""
     if scale is None:
         scale = default_scale()
-    from repro.workloads.registry import all_workloads
+    from repro.experiments.scale import map_workloads
+    from repro.workloads.registry import workload_names
 
-    single: Dict[str, Dict[int, float]] = {}
-    two_size: Dict[str, float] = {}
-    promotions: Dict[str, int] = {}
-    for workload in all_workloads():
-        trace = scale.trace(workload.name)
+    def measure(name: str):
+        trace = scale.trace(name)
         baseline = average_working_set_bytes(trace, PAGE_4KB, [scale.window])[
             scale.window
         ]
-        single[workload.name] = {}
+        normalized = {}
         for size in page_sizes:
             measured = average_working_set_bytes(trace, size, [scale.window])[
                 scale.window
             ]
-            single[workload.name][size] = (
-                measured / baseline if baseline else 1.0
-            )
+            normalized[size] = measured / baseline if baseline else 1.0
         dynamic = dynamic_average_working_set(trace, pair, scale.window)
-        two_size[workload.name] = (
-            dynamic.average_bytes / baseline if baseline else 1.0
-        )
-        promotions[workload.name] = dynamic.promotions
+        ratio = dynamic.average_bytes / baseline if baseline else 1.0
+        return normalized, ratio, dynamic.promotions
+
+    single: Dict[str, Dict[int, float]] = {}
+    two_size: Dict[str, float] = {}
+    promotions: Dict[str, int] = {}
+    names = workload_names()
+    for name, (normalized, ratio, promoted) in zip(
+        names, map_workloads(measure, names, jobs=scale.jobs)
+    ):
+        single[name] = normalized
+        two_size[name] = ratio
+        promotions[name] = promoted
     return Fig42Result(
         single, two_size, promotions, tuple(page_sizes), pair, scale
     )

@@ -117,16 +117,26 @@ def run_fig51(
     """Measure Figure 5.1 at the given scale."""
     if scale is None:
         scale = default_scale()
-    from repro.workloads.registry import all_workloads
+    from repro.experiments.scale import map_workloads
+    from repro.workloads.registry import workload_names
+
+    scheme = TwoSizeScheme(window=scale.window)
+    cache = scale.sim_cache()
+
+    def measure(name: str):
+        trace = scale.trace(name)
+        swept = sweep_single_size(trace, page_sizes, [config], cache=cache)
+        (two,) = run_two_sizes(trace, scheme, [config], cache=cache)
+        return swept, two
 
     single: Dict[str, Dict[int, RunResult]] = {}
     two_size: Dict[str, RunResult] = {}
-    scheme = TwoSizeScheme(window=scale.window)
-    for workload in all_workloads():
-        trace = scale.trace(workload.name)
-        swept = sweep_single_size(trace, page_sizes, [config])
-        single[workload.name] = {
+    names = workload_names()
+    for name, (swept, two) in zip(
+        names, map_workloads(measure, names, jobs=scale.jobs)
+    ):
+        single[name] = {
             size: swept[(size, config.label)] for size in page_sizes
         }
-        (two_size[workload.name],) = run_two_sizes(trace, scheme, [config])
+        two_size[name] = two
     return Fig51Result(single, two_size, tuple(page_sizes), config, scale)

@@ -135,21 +135,32 @@ def run_fig52(
     """Measure Figure 5.2 at the given scale."""
     if scale is None:
         scale = default_scale()
-    from repro.workloads.registry import all_workloads
+    from repro.experiments.scale import map_workloads
+    from repro.workloads.registry import workload_names
+
+    scheme = TwoSizeScheme(window=scale.window)
+    cache = scale.sim_cache()
+
+    def measure(name: str):
+        trace = scale.trace(name)
+        swept = sweep_single_size(
+            trace, page_sizes, list(configs), cache=cache
+        )
+        results = run_two_sizes(trace, scheme, list(configs), cache=cache)
+        return swept, results
 
     single: Dict[str, Dict[Tuple[int, int], RunResult]] = {}
     two_size: Dict[str, Dict[int, RunResult]] = {}
-    scheme = TwoSizeScheme(window=scale.window)
-    for workload in all_workloads():
-        trace = scale.trace(workload.name)
-        swept = sweep_single_size(trace, page_sizes, list(configs))
-        single[workload.name] = {
+    names = workload_names()
+    for name, (swept, results) in zip(
+        names, map_workloads(measure, names, jobs=scale.jobs)
+    ):
+        single[name] = {
             (config.entries, size): swept[(size, config.label)]
             for config in configs
             for size in page_sizes
         }
-        results = run_two_sizes(trace, scheme, list(configs))
-        two_size[workload.name] = {
+        two_size[name] = {
             result.config.entries: result for result in results
         }
     return Fig52Result(

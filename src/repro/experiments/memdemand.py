@@ -81,16 +81,23 @@ def run_memdemand(
     """Measure the fault-rate curves at the given scale."""
     if scale is None:
         scale = default_scale()
-    fault_ratio: Dict[Tuple[str, str, int], float] = {}
-    for name in workloads:
+    from repro.experiments.scale import map_workloads
+
+    def measure(name: str) -> Dict[Tuple[str, str, int], float]:
         trace = scale.trace(name)
+        ratios: Dict[Tuple[str, str, int], float] = {}
         for memory in memory_sizes:
             small = single_size_paging(trace, PAGE_4KB, memory)
-            fault_ratio[(name, "4KB", memory)] = small.fault_ratio
+            ratios[(name, "4KB", memory)] = small.fault_ratio
             large = single_size_paging(trace, PAGE_32KB, memory)
-            fault_ratio[(name, "32KB", memory)] = large.fault_ratio
+            ratios[(name, "32KB", memory)] = large.fault_ratio
             two = two_size_paging(
                 trace, PAIR_4KB_32KB, scale.window, memory
             )
-            fault_ratio[(name, "4KB/32KB", memory)] = two.fault_ratio
+            ratios[(name, "4KB/32KB", memory)] = two.fault_ratio
+        return ratios
+
+    fault_ratio: Dict[Tuple[str, str, int], float] = {}
+    for ratios in map_workloads(measure, list(workloads), jobs=scale.jobs):
+        fault_ratio.update(ratios)
     return MemDemandResult(fault_ratio, tuple(memory_sizes), scale)

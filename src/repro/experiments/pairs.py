@@ -80,26 +80,38 @@ def run_pairs(
     """Measure the pair comparison at the given scale."""
     if scale is None:
         scale = default_scale()
-    from repro.workloads.registry import all_workloads
+    from repro.experiments.scale import map_workloads
+    from repro.workloads.registry import workload_names
+
+    cache = scale.sim_cache()
+
+    def measure(name: str):
+        trace = scale.trace(name)
+        baseline_ws = average_working_set_bytes(
+            trace, PAGE_4KB, [scale.window]
+        )[scale.window]
+        swept = sweep_single_size(trace, [PAGE_4KB], [config], cache=cache)
+        baseline = swept[(PAGE_4KB, config.label)].cpi_tlb
+        pair_cpi: Dict[PageSizePair, RunResult] = {}
+        pair_ws: Dict[PageSizePair, float] = {}
+        for pair in pairs:
+            scheme = TwoSizeScheme(pair=pair, window=scale.window)
+            (result,) = run_two_sizes(trace, scheme, [config], cache=cache)
+            pair_cpi[pair] = result
+            dynamic = dynamic_average_working_set(trace, pair, scale.window)
+            pair_ws[pair] = (
+                dynamic.average_bytes / baseline_ws if baseline_ws else 1.0
+            )
+        return baseline, pair_ws, pair_cpi
 
     ws: Dict[str, Dict[PageSizePair, float]] = {}
     cpi: Dict[str, Dict[PageSizePair, RunResult]] = {}
     baseline_cpi: Dict[str, float] = {}
-    for workload in all_workloads():
-        trace = scale.trace(workload.name)
-        baseline_ws = average_working_set_bytes(
-            trace, PAGE_4KB, [scale.window]
-        )[scale.window]
-        swept = sweep_single_size(trace, [PAGE_4KB], [config])
-        baseline_cpi[workload.name] = swept[(PAGE_4KB, config.label)].cpi_tlb
-        ws[workload.name] = {}
-        cpi[workload.name] = {}
-        for pair in pairs:
-            scheme = TwoSizeScheme(pair=pair, window=scale.window)
-            (result,) = run_two_sizes(trace, scheme, [config])
-            cpi[workload.name][pair] = result
-            dynamic = dynamic_average_working_set(trace, pair, scale.window)
-            ws[workload.name][pair] = (
-                dynamic.average_bytes / baseline_ws if baseline_ws else 1.0
-            )
+    names = workload_names()
+    for name, (baseline, pair_ws, pair_cpi) in zip(
+        names, map_workloads(measure, names, jobs=scale.jobs)
+    ):
+        baseline_cpi[name] = baseline
+        ws[name] = pair_ws
+        cpi[name] = pair_cpi
     return PairsResult(ws, cpi, baseline_cpi, tuple(pairs), scale)

@@ -164,6 +164,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="stop the suite at the first failed experiment (still exits 1)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "run experiments across N worker processes (0 = one per "
+            "CPU; default serial, or the REPRO_JOBS environment "
+            "variable); results and output order are identical to a "
+            "serial run"
+        ),
+    )
     return parser
 
 
@@ -193,6 +205,7 @@ def _run_suite(args: argparse.Namespace) -> int:
         trace_length=args.trace_length or base.trace_length,
         window=args.window or base.window,
         use_cache=not args.no_cache,
+        jobs=args.jobs if args.jobs is not None else base.jobs,
     )
 
     journal: Optional[RunJournal] = None
@@ -303,6 +316,7 @@ def _run_suite(args: argparse.Namespace) -> int:
         on_skip=announce_skip,
         on_retry=announce_retry,
         on_failure=announce_failure,
+        jobs=scale.jobs,
     )
 
     if not report.ok or report.skipped:

@@ -10,18 +10,23 @@ within the paper's T = 10M..50M of 1-3G range.
 Every experiment takes an :class:`ExperimentScale`; the benchmark
 harness uses :func:`default_scale`, tests use :func:`smoke_scale`.
 ``REPRO_TRACE_LENGTH`` / ``REPRO_WINDOW`` environment variables override
-the defaults for users with more patience.
+the defaults for users with more patience; ``REPRO_JOBS`` spreads
+per-workload measurement across worker processes and ``REPRO_CACHE=0``
+disables the content-addressed simulation result cache.
 """
 
 from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, List, Optional, Sequence, TypeVar
 
 from repro.errors import ConfigurationError
+from repro.parallel.cache import SimulationCache
 from repro.trace.record import Trace
 from repro.workloads.registry import cached_trace, generate_trace
+
+T = TypeVar("T")
 
 
 @dataclass(frozen=True)
@@ -33,12 +38,20 @@ class ExperimentScale:
         window: working-set window T (promotion policy and WS metrics).
         seed: workload generator seed.
         use_cache: cache generated traces on disk between runs.
+        jobs: worker processes for per-workload measurement (None or 1
+            = serial; 0 = one per CPU).  Results are identical at any
+            job count — parallelism only reorders the computation.
+        use_result_cache: consult the content-addressed simulation
+            result cache (:mod:`repro.parallel.cache`).  Also requires
+            ``REPRO_CACHE`` to not be disabled in the environment.
     """
 
     trace_length: int = 400_000
     window: int = 50_000
     seed: int = 0
     use_cache: bool = True
+    jobs: Optional[int] = None
+    use_result_cache: bool = True
 
     def __post_init__(self) -> None:
         if self.trace_length <= 0:
@@ -57,12 +70,47 @@ class ExperimentScale:
             return cached_trace(name, self.trace_length, self.seed)
         return generate_trace(name, self.trace_length, self.seed)
 
+    def sim_cache(self) -> Optional[SimulationCache]:
+        """The simulation result cache to pass into the sim layer.
+
+        ``None`` when this scale opts out (``use_result_cache=False``,
+        the tests' hermetic default via :func:`smoke_scale`) or when the
+        environment disables/cannot provide it.
+        """
+        if not self.use_result_cache:
+            return None
+        return SimulationCache.from_environment()
+
+
+def map_workloads(
+    fn: Callable[[str], T],
+    names: Optional[Sequence[str]] = None,
+    *,
+    jobs: Optional[int] = None,
+) -> List[T]:
+    """Apply ``fn`` to each workload name, optionally across processes.
+
+    Returns results in ``names`` order (default: the paper's workload
+    order) regardless of which worker finished first, so experiments
+    measuring per-workload values get identical output at any job
+    count.  ``fn`` may be a closure — workers are forked after it is
+    captured — but its return value must pickle.
+    """
+    from repro.parallel.pool import parallel_map
+    from repro.workloads.registry import workload_names
+
+    if names is None:
+        names = workload_names()
+    return parallel_map([lambda n=n: fn(n) for n in names], jobs=jobs)
+
 
 def default_scale() -> ExperimentScale:
     """The benchmark-harness scale, overridable via environment."""
+    jobs_text = os.environ.get("REPRO_JOBS", "").strip()
     return ExperimentScale(
         trace_length=int(os.environ.get("REPRO_TRACE_LENGTH", 400_000)),
         window=int(os.environ.get("REPRO_WINDOW", 50_000)),
+        jobs=int(jobs_text) if jobs_text else None,
     )
 
 
@@ -74,4 +122,5 @@ def smoke_scale(trace_length: int = 60_000, window: int = 8_000,
         window=window,
         seed=0 if seed is None else seed,
         use_cache=False,
+        use_result_cache=False,
     )

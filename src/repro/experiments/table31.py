@@ -71,20 +71,24 @@ def run_table31(scale: ExperimentScale = None) -> Table31Result:
     """Measure Table 3.1 at the given scale."""
     if scale is None:
         scale = default_scale()
-    rows = []
-    for workload in all_workloads():
-        trace = scale.trace(workload.name)
+    from repro.experiments.scale import map_workloads
+    from repro.workloads.registry import get_workload, workload_names
+
+    def measure(name: str) -> WorkloadRow:
+        workload = get_workload(name)
+        trace = scale.trace(name)
         ws = average_working_set_bytes(trace, PAGE_4KB, [scale.window])[
             scale.window
         ]
-        rows.append(
-            WorkloadRow(
-                name=workload.name,
-                description=workload.description,
-                category=workload.category,
-                references=len(trace),
-                refs_per_instruction=workload.refs_per_instruction,
-                ws_bytes=ws,
-            )
+        return WorkloadRow(
+            name=workload.name,
+            description=workload.description,
+            category=workload.category,
+            references=len(trace),
+            refs_per_instruction=workload.refs_per_instruction,
+            ws_bytes=ws,
         )
+
+    names = workload_names()
+    rows = map_workloads(measure, names, jobs=scale.jobs)
     return Table31Result(rows, scale)

@@ -83,8 +83,6 @@ def run_table51(
     """Measure Table 5.1 at the given scale."""
     if scale is None:
         scale = default_scale()
-    from repro.workloads.registry import all_workloads
-
     small_index_configs = [
         TLBConfig(entries, 2, IndexingScheme.SMALL_INDEX)
         for entries in entry_counts
@@ -98,21 +96,26 @@ def run_table51(
         for entries in entry_counts
     ]
     scheme = TwoSizeScheme(window=scale.window)
+    cache = scale.sim_cache()
 
-    values: Dict[str, Dict[Tuple[int, str], RunResult]] = {}
-    for workload in all_workloads():
-        trace = scale.trace(workload.name)
+    def measure(name: str) -> Dict[Tuple[int, str], RunResult]:
+        trace = scale.trace(name)
         cells: Dict[Tuple[int, str], RunResult] = {}
 
         # Column 1: conventional 4KB TLB (one stack pass for both sizes).
-        swept = sweep_single_size(trace, [PAGE_4KB], small_index_configs)
+        swept = sweep_single_size(
+            trace, [PAGE_4KB], small_index_configs, cache=cache
+        )
         for config in small_index_configs:
             cells[(config.entries, "4KB")] = swept[(PAGE_4KB, config.label)]
 
         # Column 2: large-page indexing with no large pages allocated;
         # the hardware supports two sizes, so the 25-cycle penalty applies.
         no_large = run_with_policy(
-            trace, StaticSmallPolicy(PAIR_4KB_32KB), large_index_configs
+            trace,
+            StaticSmallPolicy(PAIR_4KB_32KB),
+            large_index_configs,
+            cache=cache,
         )
         for result in no_large:
             cells[(result.config.entries, "4KB large index")] = result
@@ -120,7 +123,10 @@ def run_table51(
         # Columns 3-4: the dynamic policy, both indexing schemes, all
         # geometries — one shared trace pass.
         dynamic = run_two_sizes(
-            trace, scheme, large_index_configs + exact_index_configs
+            trace,
+            scheme,
+            large_index_configs + exact_index_configs,
+            cache=cache,
         )
         for result in dynamic:
             column = (
@@ -129,6 +135,13 @@ def run_table51(
                 else "4KB/32KB exact index"
             )
             cells[(result.config.entries, column)] = result
+        return cells
 
-        values[workload.name] = cells
+    from repro.experiments.scale import map_workloads
+    from repro.workloads.registry import workload_names
+
+    names = workload_names()
+    values: Dict[str, Dict[Tuple[int, str], RunResult]] = dict(
+        zip(names, map_workloads(measure, names, jobs=scale.jobs))
+    )
     return Table51Result(values, scale)

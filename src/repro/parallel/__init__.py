@@ -1,0 +1,35 @@
+"""Multi-process experiment engine.
+
+Three pieces, designed to compose with :mod:`repro.robustness` rather
+than replace it:
+
+* :mod:`repro.parallel.pool` — a fork-based worker pool with an explicit
+  message protocol (start/done/error/event/crash), one outstanding task
+  per worker so a dying worker loses exactly the unit it was running.
+* :mod:`repro.parallel.scheduler` — dependency validation, stable
+  topological ordering and affinity routing, so units that share a stack
+  pass land in the same worker.
+* :mod:`repro.parallel.cache` — a content-addressed on-disk result cache
+  keyed by SHA-256 of (trace fingerprint, config, kernel, penalty
+  model), consulted before any simulation.
+
+The engine (:mod:`repro.parallel.engine`) ties them together behind
+``run_units(..., jobs=N)``; the parent process keeps sole ownership of
+the journal and of every publish callback, so checkpoint/resume and
+failure isolation behave exactly as in the serial path.
+"""
+
+from repro.parallel.cache import SimulationCache, canonical_key
+from repro.parallel.pool import (
+    in_worker,
+    parallel_map,
+    resolve_jobs,
+)
+
+__all__ = [
+    "SimulationCache",
+    "canonical_key",
+    "in_worker",
+    "parallel_map",
+    "resolve_jobs",
+]

@@ -1,0 +1,384 @@
+"""The parallel experiment engine behind ``run_units(..., jobs=N)``.
+
+Workers execute units; the **parent does everything else** — journaling,
+publishing, retry announcements, failure reports.  Outcomes are staged
+as workers finish (any order) but *flushed* strictly as a contiguous
+prefix of the original spec order, so:
+
+* the journal's unit records appear in the same deterministic order a
+  serial run would write them, and a ``--resume`` after a crash under
+  ``jobs=4`` skips the same set regardless of worker finish order;
+* publish callbacks (rendering, result files, stdout) run in spec order
+  in the parent, byte-identical to a serial run;
+* the publish-before-journal contract holds unchanged: a unit is
+  journaled complete only after its outputs exist.
+
+Failure isolation also carries over: a unit that exhausts its retries —
+or whose *worker dies outright* (segfault, ``os._exit``, OOM kill) — is
+recorded FAILED while the rest of the suite keeps running on the
+surviving (or respawned) workers.  Units whose declared dependencies
+failed are failed without running.
+"""
+
+from __future__ import annotations
+
+import pickle
+import traceback as traceback_module
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Type
+
+from repro.errors import ParallelError, WorkerCrashError
+from repro.parallel import scheduler
+from repro.parallel.pool import (
+    WorkerPool,
+    emit_event,
+    reconstruct_error,
+)
+from repro.robustness.journal import RunJournal
+from repro.robustness.retry import Deadline, RetryPolicy, call_with_retry
+
+#: How long one poll waits for worker messages before rechecking state.
+_POLL_SECONDS = 0.05
+
+
+def run_units_parallel(
+    units: Sequence,
+    *,
+    jobs: int,
+    journal: Optional[RunJournal],
+    resume: bool,
+    retry_policy: RetryPolicy,
+    deadline_seconds: Optional[float],
+    fail_fast: bool,
+    retriable: Tuple[Type[BaseException], ...],
+    on_success: Optional[Callable],
+    on_skip: Optional[Callable],
+    on_failure: Optional[Callable],
+    on_retry: Optional[Callable],
+    journal_payload: Optional[Callable],
+    clock: Callable[[], float],
+    sleep: Callable[[float], None],
+):
+    """Parallel twin of the serial loop in ``robustness.executor``.
+
+    Same report, same journal contents, same callback order — only the
+    wall clock differs.  Called via ``run_units(jobs=N)``; not meant to
+    be invoked directly.
+    """
+    from repro.robustness.executor import (
+        STATUS_FAILED,
+        STATUS_OK,
+        STATUS_SKIPPED,
+        SuiteReport,
+        UnitOutcome,
+    )
+
+    scheduler.validate_units(units)
+    topo = scheduler.topological_order(units)
+    count = len(units)
+
+    #: Per-unit staged outcome, filled as units finish, flushed in
+    #: spec order.  Kinds: "skip" | "ok" | "fail".
+    staged: List[Optional[Dict[str, Any]]] = [None] * count
+    dispatched = [False] * count
+    events: List[List[Tuple]] = [[] for _ in range(count)]
+    #: Dependencies are satisfied only once the dependency has *flushed*
+    #: successfully (outputs published, journal written) — a staged-but-
+    #: unflushed success could still fail in its publish step, and a
+    #: dependent must not have started by then.
+    flushed_ok: Set[str] = set()
+    finished_fail: Set[str] = set()
+
+    for index, spec in enumerate(units):
+        if resume and journal is not None and journal.completed(spec.name):
+            staged[index] = {"kind": "skip"}
+
+    def make_task(spec):
+        def task():
+            deadline = Deadline(deadline_seconds, clock=clock)
+
+            def notify(attempt, error, delay):
+                emit_event(
+                    ("retry", attempt, type(error).__name__, str(error), delay)
+                )
+
+            return call_with_retry(
+                spec.run,
+                policy=retry_policy,
+                deadline=deadline,
+                retriable=retriable,
+                on_retry=notify,
+                sleep=sleep,
+                label=spec.name,
+            )
+
+        return task
+
+    runnable = sum(1 for stage in staged if stage is None)
+    pool: Optional[WorkerPool] = None
+    if runnable:
+        pool = WorkerPool([make_task(spec) for spec in units],
+                          min(jobs, runnable))
+    router = scheduler.AffinityRouter()
+    report = SuiteReport()
+
+    def stage_failure(
+        index: int,
+        *,
+        error_text: str,
+        traceback_text: Optional[str],
+        elapsed: float,
+        attempts: int,
+        exception: BaseException,
+    ) -> None:
+        staged[index] = {
+            "kind": "fail",
+            "error": error_text,
+            "traceback": traceback_text,
+            "elapsed": elapsed,
+            "attempts": attempts,
+            "exception": exception,
+        }
+        finished_fail.add(units[index].name)
+
+    def flush(index: int) -> bool:
+        """Publish/journal/report one unit; True if it ended FAILED."""
+        spec = units[index]
+        stage = staged[index]
+        if stage["kind"] == "skip":
+            previous = journal.get(spec.name) if journal is not None else None
+            report.outcomes.append(
+                UnitOutcome(
+                    name=spec.name,
+                    status=STATUS_SKIPPED,
+                    elapsed=previous.elapsed if previous else 0.0,
+                )
+            )
+            if on_skip is not None:
+                on_skip(spec)
+            flushed_ok.add(spec.name)
+            return False
+        # Replay the worker's retry notices now, so announcements land
+        # in spec order exactly as a serial run would print them.
+        for event in events[index]:
+            _tag, attempt, type_name, message, delay = event
+            if on_retry is not None:
+                on_retry(
+                    spec, attempt, reconstruct_error(type_name, message), delay
+                )
+        if stage["kind"] == "ok":
+            result = stage["result"]
+            attempts = stage["attempts"]
+            elapsed = stage["elapsed"]
+            payload = None
+            try:
+                if on_success is not None:
+                    on_success(spec, result, elapsed)
+                if journal is not None and journal_payload is not None:
+                    payload = journal_payload(spec, result)
+            except (KeyboardInterrupt, SystemExit) as interrupt:
+                if journal is not None:
+                    journal.record_failure(
+                        spec.name,
+                        error=f"interrupted: {interrupt!r}",
+                        elapsed=elapsed,
+                        attempts=attempts,
+                    )
+                raise
+            except BaseException as error:  # noqa: BLE001 - isolation boundary
+                trace_text = "".join(
+                    traceback_module.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                )
+                error_text = f"{type(error).__name__}: {error}"
+                finished_fail.add(spec.name)
+                if journal is not None:
+                    journal.record_failure(
+                        spec.name,
+                        error=error_text,
+                        traceback=trace_text,
+                        elapsed=elapsed,
+                        attempts=attempts,
+                    )
+                report.outcomes.append(
+                    UnitOutcome(
+                        name=spec.name,
+                        status=STATUS_FAILED,
+                        error=error_text,
+                        traceback=trace_text,
+                        elapsed=elapsed,
+                        attempts=attempts,
+                    )
+                )
+                if on_failure is not None:
+                    on_failure(spec, error)
+                return True
+            if journal is not None:
+                journal.record_success(
+                    spec.name,
+                    elapsed=elapsed,
+                    attempts=attempts,
+                    payload=payload,
+                )
+            report.outcomes.append(
+                UnitOutcome(
+                    name=spec.name,
+                    status=STATUS_OK,
+                    result=result,
+                    elapsed=elapsed,
+                    attempts=attempts,
+                )
+            )
+            flushed_ok.add(spec.name)
+            return False
+        # stage["kind"] == "fail"
+        if journal is not None:
+            journal.record_failure(
+                spec.name,
+                error=stage["error"],
+                traceback=stage["traceback"],
+                elapsed=stage["elapsed"],
+                attempts=stage["attempts"],
+            )
+        report.outcomes.append(
+            UnitOutcome(
+                name=spec.name,
+                status=STATUS_FAILED,
+                error=stage["error"],
+                traceback=stage["traceback"],
+                elapsed=stage["elapsed"],
+                attempts=stage["attempts"],
+            )
+        )
+        if on_failure is not None:
+            on_failure(spec, stage["exception"])
+        return True
+
+    flushed = 0
+    stop = False
+    respawn_budget = count + jobs
+    clean = False
+    try:
+        while flushed < count:
+            # Fail units whose dependencies failed (topo order, so one
+            # pass cascades the whole chain).
+            for index in topo:
+                if staged[index] is not None or dispatched[index]:
+                    continue
+                failed_needs = [
+                    need
+                    for need in scheduler.unit_needs(units[index])
+                    if need in finished_fail
+                ]
+                if failed_needs:
+                    error = ParallelError(
+                        f"dependency {failed_needs[0]!r} failed"
+                    )
+                    stage_failure(
+                        index,
+                        error_text=f"{type(error).__name__}: {error}",
+                        traceback_text=None,
+                        elapsed=0.0,
+                        attempts=0,
+                        exception=error,
+                    )
+            while flushed < count and staged[flushed] is not None:
+                failed = flush(flushed)
+                flushed += 1
+                if failed and fail_fast:
+                    stop = True
+                    break
+            if stop or flushed >= count:
+                break
+            if pool is None:
+                raise ParallelError(
+                    "internal: unfinished units but no worker pool"
+                )
+            for index in topo:
+                if staged[index] is not None or dispatched[index]:
+                    continue
+                spec = units[index]
+                if any(
+                    need not in flushed_ok
+                    for need in scheduler.unit_needs(spec)
+                ):
+                    continue
+                idle = pool.idle_workers()
+                if not idle:
+                    break
+                worker_id = router.pick_worker(spec, idle)
+                if worker_id is None:
+                    continue
+                pool.submit(worker_id, index)
+                dispatched[index] = True
+            for message in pool.poll(_POLL_SECONDS):
+                index = message.task_id
+                if message.kind == "event":
+                    if index is not None and message.payload[0] == "retry":
+                        events[index].append(message.payload)
+                elif message.kind == "done" and staged[index] is None:
+                    blob, elapsed = message.payload
+                    result, attempts = pickle.loads(blob)
+                    staged[index] = {
+                        "kind": "ok",
+                        "result": result,
+                        "attempts": attempts,
+                        "elapsed": elapsed,
+                    }
+                elif message.kind == "error" and staged[index] is None:
+                    type_name, text, remote_tb, elapsed = message.payload
+                    retries = len(events[index])
+                    attempts = (
+                        retries
+                        if type_name == "DeadlineExceededError"
+                        else retries + 1
+                    )
+                    stage_failure(
+                        index,
+                        error_text=f"{type_name}: {text}",
+                        traceback_text=remote_tb,
+                        elapsed=elapsed,
+                        attempts=attempts,
+                        exception=reconstruct_error(type_name, text, remote_tb),
+                    )
+                elif message.kind == "crash":
+                    router.forget_worker(message.worker_id)
+                    if index is not None and staged[index] is None:
+                        error = WorkerCrashError(
+                            f"worker {message.worker_id} exited with code "
+                            f"{message.payload} while running "
+                            f"{units[index].name!r}"
+                        )
+                        stage_failure(
+                            index,
+                            error_text=f"{type(error).__name__}: {error}",
+                            traceback_text=None,
+                            elapsed=0.0,
+                            attempts=len(events[index]) + 1,
+                            exception=error,
+                        )
+            if pool.alive_count() == 0:
+                outstanding = any(
+                    staged[index] is None and not dispatched[index]
+                    for index in range(count)
+                )
+                if outstanding:
+                    if respawn_budget <= 0:
+                        raise ParallelError(
+                            "workers keep dying before accepting work; "
+                            "giving up on the remaining units"
+                        )
+                    for worker_id in range(pool.jobs):
+                        respawn_budget -= 1
+                        pool.respawn(worker_id)
+        clean = True
+    finally:
+        if pool is not None:
+            if clean and not stop:
+                pool.close()
+            else:
+                pool.terminate()
+    return report
+
+
+__all__ = ["run_units_parallel"]

@@ -1,0 +1,465 @@
+"""Fork-based worker pool with an explicit message protocol.
+
+The pool exists to run *experiment units* — closures over traces,
+configs and policies that are expensive or impossible to pickle — so it
+forks workers **after** the task registry is built and ships only small
+integers (task ids) to workers.  Dynamic tasks (a module-level function
+plus picklable arguments, e.g. a shared-memory trace handle) can also be
+submitted after the fork, which is what the sweep family pool uses.
+
+Design decisions, each load-bearing:
+
+* **One outstanding task per worker.**  The parent dispatches a task to
+  a worker only when that worker is idle, so a worker that dies takes
+  down exactly the unit it was running — nothing is ever stranded in a
+  dead worker's pipe.  Scheduling (readiness, affinity) lives in the
+  parent, which is what makes deterministic journal ordering possible.
+* **Results are pickled inside the worker's try block.**  A
+  ``multiprocessing.Queue`` serializes in a background feeder thread; an
+  unpicklable result would otherwise be dropped silently and look like a
+  hang.  Pickling eagerly turns that into an ordinary reported error.
+* **Crashes are messages, not exceptions.**  ``poll`` watches worker
+  liveness and synthesizes a ``"crash"`` message for the in-flight task
+  of a dead worker, so callers handle a segfault with the same code path
+  as a Python exception.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+import pickle
+import queue as queue_module
+import time
+import traceback as traceback_module
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParallelError, WorkerCrashError
+
+#: Worker-side globals, set once per forked process.
+_CURRENT_WORKER: Optional[int] = None
+_CURRENT_TASK: Optional[int] = None
+_RESULT_QUEUE: Any = None
+
+
+class RemoteTaskError(RuntimeError):
+    """Base of dynamically rebuilt worker exceptions.
+
+    A worker reports failures as ``(type_name, message, traceback)``
+    strings; :func:`reconstruct_error` rebuilds an exception whose
+    *class name* matches the original, so parent-side formatting
+    (``f"{type(error).__name__}: {error}"``) is identical to a serial
+    run.  The worker's formatted traceback rides along as
+    ``remote_traceback``.
+    """
+
+
+def reconstruct_error(
+    type_name: str, message: str, traceback_text: Optional[str] = None
+) -> BaseException:
+    """Rebuild a worker-reported exception for parent-side handling."""
+    error = type(type_name, (RemoteTaskError,), {})(message)
+    error.remote_traceback = traceback_text
+    return error
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process (used to forbid nesting)."""
+    return _CURRENT_WORKER is not None
+
+
+def emit_event(payload: Any) -> None:
+    """Send an out-of-band event (e.g. a retry notice) to the parent.
+
+    No-op outside a worker, so code instrumented with events runs
+    unchanged in serial mode.
+    """
+    if _RESULT_QUEUE is not None:
+        _RESULT_QUEUE.put(("event", _CURRENT_WORKER, _CURRENT_TASK, payload))
+
+
+def fork_available() -> bool:
+    """Whether this platform supports the fork start method."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` request to an actual worker count.
+
+    ``None`` or ``1`` mean serial; ``0`` means one worker per CPU;
+    anything else is taken literally.  Inside a pool worker, or on a
+    platform without fork, the answer is always 1 — parallelism never
+    nests and never silently switches to spawn semantics (which could
+    not see the parent's task closures).
+    """
+    if jobs is None:
+        return 1
+    if jobs < 0:
+        raise ParallelError(f"jobs must be >= 0, got {jobs}")
+    if in_worker() or not fork_available():
+        return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+#: A pool message: kind is "start" | "done" | "error" | "event" |
+#: "bye" | "crash".  ``payload`` is kind-specific (see ``_worker_main``).
+@dataclass(frozen=True)
+class Message:
+    kind: str
+    worker_id: int
+    task_id: Optional[int]
+    payload: Any = None
+
+
+def _worker_main(worker_id, tasks, task_queue, result_queue) -> None:
+    """Worker loop: take (task_id, spec) off the queue, report outcome.
+
+    ``spec`` is either an int (index into the fork-inherited ``tasks``
+    registry) or pickled ``(function, args)`` bytes for dynamic tasks.
+    """
+    global _CURRENT_WORKER, _CURRENT_TASK, _RESULT_QUEUE
+    _CURRENT_WORKER = worker_id
+    _RESULT_QUEUE = result_queue
+    while True:
+        item = task_queue.get()
+        if item is None:
+            result_queue.put(("bye", worker_id, None, None))
+            return
+        task_id, spec = item
+        _CURRENT_TASK = task_id
+        result_queue.put(("start", worker_id, task_id, None))
+        started = time.monotonic()
+        try:
+            if isinstance(spec, bytes):
+                function, arguments = pickle.loads(spec)
+                result = function(*arguments)
+            else:
+                result = tasks[spec]()
+            blob = pickle.dumps(result)
+        except BaseException as error:  # noqa: BLE001 - reported, not handled
+            detail = (
+                type(error).__name__,
+                str(error),
+                "".join(
+                    traceback_module.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                ),
+                time.monotonic() - started,
+            )
+            result_queue.put(("error", worker_id, task_id, detail))
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                return
+        else:
+            result_queue.put(
+                ("done", worker_id, task_id, (blob, time.monotonic() - started))
+            )
+        finally:
+            _CURRENT_TASK = None
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: Any
+    task_queue: Any
+    in_flight: Optional[int] = None
+    dispatched: int = 0
+    sentinel_sent: bool = False
+    said_bye: bool = False
+    reported_dead: bool = False
+
+    @property
+    def usable(self) -> bool:
+        return (
+            not self.sentinel_sent
+            and not self.reported_dead
+            and self.process.is_alive()
+        )
+
+
+class WorkerPool:
+    """A fixed-size pool of forked workers; see the module docstring."""
+
+    def __init__(
+        self,
+        tasks: Optional[Sequence[Callable[[], Any]]] = None,
+        jobs: int = 1,
+    ) -> None:
+        if in_worker():
+            raise ParallelError("worker pools must not be created in a worker")
+        if not fork_available():
+            raise ParallelError("worker pools need the fork start method")
+        if jobs < 1:
+            raise ParallelError(f"a pool needs at least one worker, got {jobs}")
+        self.jobs = jobs
+        self._tasks = list(tasks) if tasks is not None else []
+        self._context = multiprocessing.get_context("fork")
+        self._result_queue = self._context.Queue()
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._closed = False
+        for worker_id in range(jobs):
+            self._spawn(worker_id)
+
+    def _spawn(self, worker_id: int) -> None:
+        task_queue = self._context.SimpleQueue()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, self._tasks, task_queue, self._result_queue),
+            daemon=True,
+        )
+        process.start()
+        self._workers[worker_id] = _WorkerHandle(worker_id, process, task_queue)
+
+    def respawn(self, worker_id: int) -> None:
+        """Replace a dead worker so remaining work can still be absorbed."""
+        handle = self._workers[worker_id]
+        if handle.process.is_alive():
+            raise ParallelError(f"worker {worker_id} is alive; not respawning")
+        self._spawn(worker_id)
+
+    def submit(
+        self,
+        worker_id: int,
+        task_id: int,
+        call: Optional[Tuple[Callable[..., Any], Tuple[Any, ...]]] = None,
+    ) -> None:
+        """Dispatch one task to an idle worker.
+
+        ``call=None`` sends registry task ``task_id``; otherwise
+        ``call=(function, args)`` is pickled and sent as a dynamic task.
+        """
+        if self._closed:
+            raise ParallelError("pool is closed")
+        handle = self._workers[worker_id]
+        if handle.in_flight is not None:
+            raise ParallelError(
+                f"worker {worker_id} already has task {handle.in_flight}"
+            )
+        if not handle.usable:
+            raise WorkerCrashError(f"worker {worker_id} is not running")
+        spec: Any = task_id if call is None else pickle.dumps(call)
+        handle.in_flight = task_id
+        handle.dispatched += 1
+        handle.task_queue.put((task_id, spec))
+
+    def idle_workers(self) -> List[int]:
+        """Usable workers with no task in flight, least-loaded first."""
+        idle = [
+            handle
+            for handle in self._workers.values()
+            if handle.usable and handle.in_flight is None
+        ]
+        idle.sort(key=lambda handle: (handle.dispatched, handle.worker_id))
+        return [handle.worker_id for handle in idle]
+
+    def alive_count(self) -> int:
+        return sum(1 for handle in self._workers.values() if handle.usable)
+
+    def poll(self, timeout: float = 0.1) -> List[Message]:
+        """Drain pending messages, then synthesize crashes for dead workers."""
+        raw: List[Tuple[str, int, Optional[int], Any]] = []
+        try:
+            raw.append(self._result_queue.get(timeout=timeout))
+        except queue_module.Empty:
+            pass
+        while True:
+            try:
+                raw.append(self._result_queue.get_nowait())
+            except queue_module.Empty:
+                break
+        messages = [Message(*item) for item in raw]
+        for message in messages:
+            handle = self._workers.get(message.worker_id)
+            if handle is None:
+                continue
+            if message.kind in ("done", "error") and (
+                handle.in_flight == message.task_id
+            ):
+                handle.in_flight = None
+            elif message.kind == "bye":
+                handle.said_bye = True
+        for handle in self._workers.values():
+            if (
+                not handle.said_bye
+                and not handle.reported_dead
+                and not handle.sentinel_sent
+                and not handle.process.is_alive()
+            ):
+                handle.reported_dead = True
+                task_id = handle.in_flight
+                handle.in_flight = None
+                messages.append(
+                    Message(
+                        "crash",
+                        handle.worker_id,
+                        task_id,
+                        handle.process.exitcode,
+                    )
+                )
+        return messages
+
+    def close(self, timeout: float = 10.0) -> None:
+        """Send sentinels and join workers (idempotent)."""
+        if self._closed:
+            return
+        for handle in self._workers.values():
+            if not handle.sentinel_sent and handle.process.is_alive():
+                handle.sentinel_sent = True
+                try:
+                    handle.task_queue.put(None)
+                except (OSError, ValueError):
+                    pass
+        deadline = time.monotonic() + timeout
+        for handle in self._workers.values():
+            handle.process.join(max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(1.0)
+        self._closed = True
+
+    def terminate(self) -> None:
+        """Kill all workers immediately (used on interrupt/fatal error)."""
+        if self._closed:
+            return
+        for handle in self._workers.values():
+            if handle.process.is_alive():
+                handle.process.terminate()
+        for handle in self._workers.values():
+            handle.process.join(1.0)
+        self._closed = True
+
+    def run_calls(
+        self,
+        calls: Optional[
+            Sequence[Tuple[Callable[..., Any], Tuple[Any, ...]]]
+        ] = None,
+        count: Optional[int] = None,
+    ) -> List[Any]:
+        """Run tasks to completion, preserving submission order.
+
+        With ``calls``, each ``(function, args)`` pair is pickled and
+        shipped; with ``count`` alone, registry tasks ``0..count-1`` run
+        instead.  Raises the reconstructed error of the lowest-indexed
+        failing task (after letting in-flight work finish), or
+        :class:`WorkerCrashError` if a worker died running one.
+        """
+        if calls is None:
+            if count is None:
+                raise ParallelError("run_calls needs calls or a task count")
+            total = count
+        else:
+            total = len(calls)
+        results: List[Any] = [None] * total
+        finished = [False] * total
+        failures: Dict[int, BaseException] = {}
+        next_task = 0
+        while not all(finished):
+            if not failures:
+                for worker_id in self.idle_workers():
+                    if next_task >= total:
+                        break
+                    self.submit(
+                        worker_id,
+                        next_task,
+                        call=None if calls is None else calls[next_task],
+                    )
+                    next_task += 1
+            else:
+                # Stop feeding new work; finish what's in flight so the
+                # lowest-indexed error is deterministic.
+                for index in range(next_task, total):
+                    if not finished[index]:
+                        finished[index] = True
+                        failures.setdefault(
+                            index,
+                            ParallelError("cancelled after an earlier failure"),
+                        )
+            for message in self.poll(0.05):
+                if message.task_id is None or message.kind in ("start", "bye"):
+                    continue
+                index = message.task_id
+                if finished[index]:
+                    continue
+                if message.kind == "done":
+                    blob, _elapsed = message.payload
+                    results[index] = pickle.loads(blob)
+                    finished[index] = True
+                elif message.kind == "error":
+                    type_name, text, remote_tb, _elapsed = message.payload
+                    failures[index] = reconstruct_error(
+                        type_name, text, remote_tb
+                    )
+                    finished[index] = True
+                elif message.kind == "crash":
+                    failures[index] = WorkerCrashError(
+                        f"worker {message.worker_id} exited with code "
+                        f"{message.payload} while running task {index}"
+                    )
+                    finished[index] = True
+            if self.alive_count() == 0 and not all(finished):
+                for worker_id, handle in self._workers.items():
+                    if not handle.usable:
+                        self.respawn(worker_id)
+        if failures:
+            raise failures[min(failures)]
+        return results
+
+
+def parallel_map(
+    thunks: Sequence[Callable[[], Any]], *, jobs: Optional[int] = None
+) -> List[Any]:
+    """Run zero-argument callables, preserving order; serial when jobs<=1.
+
+    The callables may close over arbitrary unpicklable state — they are
+    inherited by the forked workers, never pickled.  On failure the
+    lowest-indexed error is raised (reconstructed for remote failures).
+    """
+    thunks = list(thunks)
+    count = min(resolve_jobs(jobs), len(thunks))
+    if count <= 1:
+        return [thunk() for thunk in thunks]
+    pool = WorkerPool(thunks, count)
+    try:
+        # Registry tasks: workers inherit the closures, only indices ship.
+        return pool.run_calls(count=len(thunks))
+    finally:
+        pool.terminate()
+
+
+#: Process-wide pool reused across calls that ship dynamic tasks (the
+#: sweep family pool).  Workers forked at first use know nothing about
+#: traces created later — that is exactly why those tasks travel as
+#: shared-memory handles rather than pickled reference streams.
+_SHARED_POOL: Optional[WorkerPool] = None
+_SHARED_POOL_ATEXIT = False
+
+
+def shared_task_pool(jobs: int) -> WorkerPool:
+    """Return the persistent dynamic-task pool, (re)creating on demand."""
+    global _SHARED_POOL, _SHARED_POOL_ATEXIT
+    if jobs < 1:
+        raise ParallelError(f"a pool needs at least one worker, got {jobs}")
+    pool = _SHARED_POOL
+    if pool is not None and (pool._closed or pool.jobs != jobs):
+        pool.close(timeout=2.0)
+        pool = None
+    if pool is None:
+        pool = WorkerPool(None, jobs)
+        _SHARED_POOL = pool
+        if not _SHARED_POOL_ATEXIT:
+            _SHARED_POOL_ATEXIT = True
+            atexit.register(shutdown_shared_pool)
+    return pool
+
+
+def shutdown_shared_pool() -> None:
+    """Close the persistent pool (idempotent; registered atexit)."""
+    global _SHARED_POOL
+    if _SHARED_POOL is not None:
+        _SHARED_POOL.close(timeout=2.0)
+        _SHARED_POOL = None

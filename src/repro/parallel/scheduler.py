@@ -1,0 +1,165 @@
+"""Dependency-aware ordering and worker affinity for experiment units.
+
+A :class:`~repro.robustness.executor.UnitSpec` may name other units it
+``needs`` (they must succeed first) and an ``affinity`` key (units
+sharing a key run in the same worker, so per-worker caches — attached
+shared-memory traces, warmed stack passes — are actually reused).
+
+The scheduler is parent-side bookkeeping only; it never touches
+processes.  The engine asks it three questions: *is this unit spec
+valid* (:func:`validate_units`), *what order should dispatch consider*
+(:func:`topological_order` — stable, so an already-consistent spec
+order is preserved verbatim), and *which worker should run this unit*
+(:class:`AffinityRouter`).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.errors import ParallelError
+
+
+def unit_needs(spec) -> tuple:
+    """The unit names ``spec`` depends on (units without the field: none)."""
+    return tuple(getattr(spec, "needs", ()) or ())
+
+
+def unit_affinity(spec) -> Optional[str]:
+    """The unit's affinity key, or None (units without the field: None)."""
+    return getattr(spec, "affinity", None)
+
+
+def validate_units(units: Sequence) -> Dict[str, int]:
+    """Check names are unique and every dependency names a known unit.
+
+    Returns {unit name: index in ``units``}.  Raises
+    :class:`~repro.errors.ParallelError` on duplicates or unknown
+    dependencies; cycles are caught by :func:`topological_order`.
+    """
+    by_name: Dict[str, int] = {}
+    for index, spec in enumerate(units):
+        if spec.name in by_name:
+            raise ParallelError(f"duplicate unit name {spec.name!r}")
+        by_name[spec.name] = index
+    for index, spec in enumerate(units):
+        for need in unit_needs(spec):
+            if need not in by_name:
+                raise ParallelError(
+                    f"unit {spec.name!r} needs unknown unit {need!r}"
+                )
+            if need == spec.name:
+                raise ParallelError(f"unit {spec.name!r} depends on itself")
+            if by_name[need] > index:
+                # Spec order is also journal/flush order; a dependency
+                # listed after its dependent would make the serial and
+                # parallel paths disagree about execution order.
+                raise ParallelError(
+                    f"unit {spec.name!r} must be listed after its "
+                    f"dependency {need!r}"
+                )
+    return by_name
+
+
+def topological_order(units: Sequence) -> List[int]:
+    """Indices of ``units`` in dependency order, stable by spec order.
+
+    Kahn's algorithm with a min-heap on the original index: whenever
+    several units are ready, the one listed first goes first, so a spec
+    list that is already dependency-consistent comes back unchanged.
+    """
+    by_name = validate_units(units)
+    dependents: Dict[int, List[int]] = {i: [] for i in range(len(units))}
+    indegree = [0] * len(units)
+    for index, spec in enumerate(units):
+        for need in unit_needs(spec):
+            dependents[by_name[need]].append(index)
+            indegree[index] += 1
+    ready = [index for index, degree in enumerate(indegree) if degree == 0]
+    heapq.heapify(ready)
+    order: List[int] = []
+    while ready:
+        index = heapq.heappop(ready)
+        order.append(index)
+        for dependent in dependents[index]:
+            indegree[dependent] -= 1
+            if indegree[dependent] == 0:
+                heapq.heappush(ready, dependent)
+    if len(order) != len(units):
+        cyclic = sorted(
+            units[index].name
+            for index, degree in enumerate(indegree)
+            if degree > 0
+        )
+        raise ParallelError(
+            "dependency cycle among units: " + ", ".join(cyclic)
+        )
+    return order
+
+
+def transitive_dependents(units: Sequence, root: str) -> Set[str]:
+    """Names of every unit that (transitively) needs ``root``."""
+    by_name = {spec.name: spec for spec in units}
+    if root not in by_name:
+        raise ParallelError(f"unknown unit {root!r}")
+    affected: Set[str] = set()
+    changed = True
+    while changed:
+        changed = False
+        for spec in units:
+            if spec.name in affected:
+                continue
+            for need in unit_needs(spec):
+                if need == root or need in affected:
+                    affected.add(spec.name)
+                    changed = True
+                    break
+    return affected
+
+
+class AffinityRouter:
+    """Sticky unit-to-worker routing.
+
+    The first unit of an affinity group binds the group to a worker (the
+    least-loaded idle one at that moment); later units of the group wait
+    for *that* worker even if others are idle — the point of affinity is
+    reusing worker-local state, which a different worker does not have.
+    A dead worker's bindings are dropped so its groups rebind.
+    """
+
+    def __init__(self) -> None:
+        self._binding: Dict[str, int] = {}
+
+    def pick_worker(self, spec, idle_workers: Sequence[int]) -> Optional[int]:
+        """Choose a worker for ``spec`` from ``idle_workers``.
+
+        ``idle_workers`` must be least-loaded-first (the pool's
+        ``idle_workers()`` order).  Returns None when the unit must wait
+        (no idle worker, or its bound worker is busy).
+        """
+        if not idle_workers:
+            return None
+        key = unit_affinity(spec)
+        if key is None:
+            return idle_workers[0]
+        bound = self._binding.get(key)
+        if bound is None:
+            self._binding[key] = idle_workers[0]
+            return idle_workers[0]
+        return bound if bound in idle_workers else None
+
+    def forget_worker(self, worker_id: int) -> None:
+        """Unbind every group routed to a (now dead) worker."""
+        for key in [k for k, wid in self._binding.items() if wid == worker_id]:
+            del self._binding[key]
+
+
+__all__ = [
+    "AffinityRouter",
+    "topological_order",
+    "transitive_dependents",
+    "unit_affinity",
+    "unit_needs",
+    "validate_units",
+]

@@ -4,13 +4,17 @@ A benchmark report is only useful against a reference point.  This
 module loads a committed baseline report, matches its units against a
 freshly measured one, and flags regressions.
 
-The compared figure is each unit's **vector/scalar speedup ratio**, not
-its wall time: wall times differ wildly across machines (a laptop vs a
-CI runner), but the ratio between the two kernels on the *same* machine
-in the *same* process is stable, so a committed ``baseline.json``
-remains meaningful wherever the check runs.  A unit regresses when its
+The compared figure is each unit's **speedup ratio**, not its wall
+time: wall times differ wildly across machines (a laptop vs a CI
+runner), but a ratio between two measurements on the *same* machine in
+the *same* process is stable, so a committed ``baseline.json`` remains
+meaningful wherever the check runs.  For kernel units the ratio is
+vector/scalar; for the suite-level units it is serial/parallel wall
+time and cold/warm result-cache time.  A unit regresses when its
 measured speedup falls more than ``threshold_percent`` below the
-baseline speedup.
+baseline speedup; a baseline unit may carry its own
+``threshold_percent`` (the suite-level units do — scheduling and I/O
+noise dwarf kernel timing noise) which overrides the global one.
 
 Failure modes are deliberately split:
 
@@ -32,7 +36,10 @@ from typing import Any, Dict, List, Union
 from repro.errors import BenchmarkError
 
 #: Schema identifier stamped into every report; bump on layout changes.
-REPORT_SCHEMA = "repro-bench/1"
+#: ``/2`` added suite-level units (parallel sweep wall time, result-cache
+#: cold/warm) alongside the kernel units, and per-unit
+#: ``threshold_percent`` overrides in the baseline.
+REPORT_SCHEMA = "repro-bench/2"
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:
@@ -155,7 +162,20 @@ def compare_reports(
         base_speedup = _unit_speedup(unit, "baseline")
         cur_speedup = _unit_speedup(measured, "current")
         change = (cur_speedup / base_speedup - 1.0) * 100.0
-        regressed = cur_speedup < base_speedup * (1.0 - threshold_percent / 100.0)
+        unit_threshold = unit.get("threshold_percent", threshold_percent)
+        try:
+            unit_threshold = float(unit_threshold)
+        except (TypeError, ValueError) as error:
+            raise BenchmarkError(
+                f"baseline unit {name!r} has a non-numeric "
+                f"threshold_percent {unit_threshold!r}"
+            ) from error
+        if unit_threshold < 0:
+            raise BenchmarkError(
+                f"baseline unit {name!r} has a negative "
+                f"threshold_percent {unit_threshold}"
+            )
+        regressed = cur_speedup < base_speedup * (1.0 - unit_threshold / 100.0)
         comparisons.append(
             UnitComparison(
                 name=name,

@@ -6,6 +6,22 @@ kernel — and writes a machine-readable ``BENCH_<rev>.json`` report:
 wall time, references/second and the vector/scalar speedup per unit,
 plus peak RSS for the process.
 
+Two *suite-level* units ride along with the kernel units:
+
+* ``suite/parallel-sweep`` — one configuration sweep timed serially and
+  again at ``--jobs N`` through the shared worker pool, recording both
+  wall times and the serial/parallel speedup (~1x on a single core, ~N
+  on N).  The two sweeps must produce identical results or the unit
+  raises.
+* ``suite/result-cache`` — one two-page-size simulation timed against
+  an empty content-addressed cache (cold: simulate + store) and again
+  against the populated one (warm: pure lookup), recording the
+  cold/warm speedup.
+
+Both carry a per-unit regression threshold in the baseline (their
+ratios are noisier than kernel ratios) but are gated by the same
+comparator.
+
 The suite is *pinned*: unit names, workloads, trace lengths and TLB
 geometries are constants of this module, so reports from different
 revisions are comparable and a committed ``benchmarks/baseline.json``
@@ -28,10 +44,12 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
 import resource
 import subprocess
 import sys
+import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -40,11 +58,13 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import BenchmarkError, ReproError
+from repro.parallel.cache import SimulationCache
 from repro.perf.baseline import REPORT_SCHEMA, compare_reports, load_report
 from repro.perf.kernels import KERNEL_SCALAR, KERNEL_VECTOR
 from repro.policy.dynamic_ws import dynamic_average_working_set
 from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
 from repro.sim.driver import run_single_size, run_two_sizes
+from repro.sim.sweep import sweep_single_size
 from repro.stacksim.lru_stack import lru_miss_curve
 from repro.trace.record import Trace
 from repro.types import PAIR_4KB_32KB
@@ -111,6 +131,23 @@ SUITE = (
     BenchUnit("policy/working-set", "matrix300", _unit_working_set),
 )
 
+#: Suite-level unit names, in reporting order (after the kernel units).
+SUITE_LEVEL = ("suite/parallel-sweep", "suite/result-cache")
+
+#: Regression threshold for the suite-level units: scheduling and
+#: filesystem noise dwarf kernel timing noise, so the gate only trips on
+#: a gross loss (parallelism or caching silently turned off).
+SUITE_LEVEL_THRESHOLD = 50.0
+
+#: Pinned shapes for ``suite/parallel-sweep``: four page sizes over
+#: three geometries → eight independent stack-pass families.
+_SWEEP_PAGE_SIZES = (4096, 8192, 16384, 32768)
+_SWEEP_CONFIGS = (
+    _CONFIG_32E_2WAY,
+    _CONFIG_16E_FA,
+    TLBConfig(entries=64, associativity=4),
+)
+
 
 def _time_kernel(
     unit: BenchUnit, trace: Trace, kernel: str, repeats: int
@@ -123,12 +160,99 @@ def _time_kernel(
     return best
 
 
+def _time_call(func: Callable[[], Any], repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        func()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _suite_parallel_sweep(
+    trace: Trace, repeats: int, jobs: int
+) -> Dict[str, Any]:
+    """Time one pinned sweep serially and again across ``jobs`` workers."""
+    sizes = list(_SWEEP_PAGE_SIZES)
+    configs = list(_SWEEP_CONFIGS)
+    serial_results = sweep_single_size(trace, sizes, configs)
+    parallel_results = sweep_single_size(trace, sizes, configs, jobs=jobs)
+    if serial_results != parallel_results:
+        raise BenchmarkError(
+            "suite/parallel-sweep: parallel sweep results diverged from "
+            "the serial run — the engines are not equivalent"
+        )
+    serial_seconds = _time_call(
+        lambda: sweep_single_size(trace, sizes, configs), repeats
+    )
+    parallel_seconds = _time_call(
+        lambda: sweep_single_size(trace, sizes, configs, jobs=jobs), repeats
+    )
+    return {
+        "name": "suite/parallel-sweep",
+        "workload": trace.name,
+        "references": len(trace),
+        "repeats": repeats,
+        "kind": "suite",
+        "jobs": jobs,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds,
+        "threshold_percent": SUITE_LEVEL_THRESHOLD,
+    }
+
+
+def _suite_result_cache(trace: Trace, repeats: int) -> Dict[str, Any]:
+    """Time one simulation against a cold and then a warm result cache."""
+    scheme = _TWO_SIZE
+    configs = [_CONFIG_16E_FA]
+
+    def cold() -> Any:
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = SimulationCache.open(tmp)
+            return run_two_sizes(trace, scheme, configs, cache=cache)
+
+    cold_seconds = _time_call(cold, repeats)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = SimulationCache.open(tmp)
+        uncached = run_two_sizes(trace, scheme, configs, cache=cache)
+        warm_seconds = _time_call(
+            lambda: run_two_sizes(trace, scheme, configs, cache=cache),
+            repeats,
+        )
+        warm = run_two_sizes(trace, scheme, configs, cache=cache)
+    if uncached != warm:
+        raise BenchmarkError(
+            "suite/result-cache: cached results diverged from the "
+            "simulated ones — the cache is not transparent"
+        )
+    # The raw cold/warm ratio runs into the hundreds and swings with
+    # filesystem noise; the gated figure is capped so the comparator
+    # only trips when caching degrades toward recomputation (~1x), not
+    # when a warm lookup takes 0.3ms instead of 0.15ms.
+    raw_speedup = cold_seconds / warm_seconds
+    return {
+        "name": "suite/result-cache",
+        "workload": trace.name,
+        "references": len(trace),
+        "repeats": repeats,
+        "kind": "suite",
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "raw_speedup": raw_speedup,
+        "speedup": min(raw_speedup, 25.0),
+        "threshold_percent": SUITE_LEVEL_THRESHOLD,
+    }
+
+
 def run_suite(
     *,
     quick: bool = False,
     seed: int = 0,
     repeats: Optional[int] = None,
     revision: Optional[str] = None,
+    jobs: int = 2,
 ) -> Dict[str, Any]:
     """Execute the pinned suite and return the report as a dict."""
     length = QUICK_LENGTH if quick else FULL_LENGTH
@@ -136,6 +260,10 @@ def run_suite(
         repeats = QUICK_REPEATS if quick else FULL_REPEATS
     if repeats <= 0:
         raise BenchmarkError(f"repeats must be positive, got {repeats}")
+    if jobs < 2:
+        raise BenchmarkError(
+            f"jobs must be at least 2 for suite/parallel-sweep, got {jobs}"
+        )
 
     started = time.perf_counter()
     units: List[Dict[str, Any]] = []
@@ -154,6 +282,7 @@ def run_suite(
                 "workload": unit.workload,
                 "references": references,
                 "repeats": repeats,
+                "kind": "kernel",
                 "scalar_seconds": scalar_seconds,
                 "vector_seconds": vector_seconds,
                 "scalar_refs_per_sec": references / scalar_seconds,
@@ -161,6 +290,11 @@ def run_suite(
                 "speedup": scalar_seconds / vector_seconds,
             }
         )
+
+    units.append(
+        _suite_parallel_sweep(traces["matrix300"], repeats, jobs)
+    )
+    units.append(_suite_result_cache(traces["espresso"], repeats))
 
     return {
         "schema": REPORT_SCHEMA,
@@ -208,13 +342,28 @@ def _render_report(report: Dict[str, Any]) -> str:
         f"{report['trace_length']} refs, numpy {report['numpy']})"
     ]
     for unit in report["units"]:
-        lines.append(
-            f"  {unit['name']:24s} [{unit['workload']}] "
-            f"scalar {unit['scalar_seconds']:.3f}s "
-            f"vector {unit['vector_seconds']:.3f}s "
-            f"speedup {unit['speedup']:.1f}x "
-            f"({unit['vector_refs_per_sec']:,.0f} refs/s)"
-        )
+        if "serial_seconds" in unit:
+            lines.append(
+                f"  {unit['name']:24s} [{unit['workload']}] "
+                f"serial {unit['serial_seconds']:.3f}s "
+                f"jobs={unit['jobs']} {unit['parallel_seconds']:.3f}s "
+                f"speedup {unit['speedup']:.1f}x"
+            )
+        elif "cold_seconds" in unit:
+            lines.append(
+                f"  {unit['name']:24s} [{unit['workload']}] "
+                f"cold {unit['cold_seconds']:.3f}s "
+                f"warm {unit['warm_seconds']:.3f}s "
+                f"speedup {unit['speedup']:.1f}x"
+            )
+        else:
+            lines.append(
+                f"  {unit['name']:24s} [{unit['workload']}] "
+                f"scalar {unit['scalar_seconds']:.3f}s "
+                f"vector {unit['vector_seconds']:.3f}s "
+                f"speedup {unit['speedup']:.1f}x "
+                f"({unit['vector_refs_per_sec']:,.0f} refs/s)"
+            )
     lines.append(
         f"  wall {report['wall_seconds']:.1f}s, "
         f"peak RSS {report['peak_rss_kb']} KB"
@@ -270,6 +419,16 @@ def _build_parser() -> argparse.ArgumentParser:
         help="allowed speedup drop in percent before failing (default 10)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for suite/parallel-sweep (minimum 2; "
+            "default: REPRO_JOBS or 2)"
+        ),
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list the pinned suite units and exit",
@@ -283,16 +442,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.list:
         for unit in SUITE:
             print(f"{unit.name}  [{unit.workload}]")
+        for name in SUITE_LEVEL:
+            print(f"{name}  [suite-level]")
         return 0
     try:
         if args.check and args.baseline is None:
             raise BenchmarkError("--check requires --baseline <file>")
         baseline = load_report(args.baseline) if args.check else None
+        jobs = args.jobs
+        if jobs is None:
+            jobs_text = os.environ.get("REPRO_JOBS", "").strip()
+            jobs = int(jobs_text) if jobs_text else 2
         report = run_suite(
             quick=args.quick,
             seed=args.seed,
             repeats=args.repeats,
             revision=args.rev,
+            jobs=max(2, jobs),
         )
         path = write_report(report, args.output_dir)
         print(_render_report(report))

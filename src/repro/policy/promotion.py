@@ -73,6 +73,17 @@ class PageSizeAssignmentPolicy(ABC):
     def reset(self) -> None:
         """Forget all history; the next access starts a fresh simulation."""
 
+    def cache_token(self) -> Optional[dict]:
+        """JSON-stable key parts identifying this policy's behaviour.
+
+        Used by the content-addressed result cache: two policies with
+        equal tokens produce identical decision streams over any trace.
+        ``None`` means *uncacheable* — the policy carries accumulated
+        state (or is an unknown subclass), so results depend on history
+        the token cannot capture and the cache must be bypassed.
+        """
+        return None
+
 
 class DynamicPromotionPolicy(PageSizeAssignmentPolicy):
     """The paper's working-set-window promotion policy.
@@ -180,6 +191,22 @@ class DynamicPromotionPolicy(PageSizeAssignmentPolicy):
         self.promotions = 0
         self.demotions = 0
 
+    def cache_token(self) -> Optional[dict]:
+        if (
+            self._promoted
+            or self.promotions
+            or self.demotions
+            or self._window.references_seen()
+        ):
+            return None  # mid-simulation state: results are history-dependent
+        return {
+            "policy": "dynamic",
+            "pair": str(self.pair),
+            "window": self.window,
+            "promote_blocks": self.promote_blocks,
+            "demote_blocks": self.demote_blocks,
+        }
+
 
 class StaticSmallPolicy(PageSizeAssignmentPolicy):
     """Every chunk stays mapped as small pages.
@@ -191,12 +218,18 @@ class StaticSmallPolicy(PageSizeAssignmentPolicy):
     def access_block(self, block: int) -> PageDecision:
         return PageDecision(block, False)
 
+    def cache_token(self) -> Optional[dict]:
+        return {"policy": "static-small", "pair": str(self.pair)}
+
 
 class StaticLargePolicy(PageSizeAssignmentPolicy):
     """Every chunk is mapped as one large page."""
 
     def access_block(self, block: int) -> PageDecision:
         return PageDecision(block // self.pair.blocks_per_chunk, True)
+
+    def cache_token(self) -> Optional[dict]:
+        return {"policy": "static-large", "pair": str(self.pair)}
 
 
 class ExplicitAssignmentPolicy(PageSizeAssignmentPolicy):
@@ -215,3 +248,10 @@ class ExplicitAssignmentPolicy(PageSizeAssignmentPolicy):
         if chunk in self._large_chunks:
             return PageDecision(chunk, True)
         return PageDecision(block, False)
+
+    def cache_token(self) -> Optional[dict]:
+        return {
+            "policy": "explicit",
+            "pair": str(self.pair),
+            "large_chunks": sorted(self._large_chunks),
+        }

@@ -39,10 +39,22 @@ STATUS_SKIPPED = "skipped"
 
 @dataclass(frozen=True)
 class UnitSpec:
-    """One schedulable unit of work: a name and a zero-argument callable."""
+    """One schedulable unit of work: a name and a zero-argument callable.
+
+    ``needs`` names units that must *complete successfully* first (they
+    must be listed earlier in the suite); if one fails, this unit is
+    recorded FAILED without running.  ``affinity`` is an opaque grouping
+    key for parallel runs — units sharing a key run in the same worker
+    process, so worker-local state (attached shared-memory traces, a
+    warmed stack pass) is actually reused.  Both are ignored-but-honored
+    in serial runs: ``needs`` still gates execution, ``affinity`` is
+    moot when there is only one process.
+    """
 
     name: str
     run: Callable[[], Any]
+    needs: Tuple[str, ...] = ()
+    affinity: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -137,6 +149,7 @@ def run_units(
     ] = None,
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
+    jobs: Optional[int] = None,
 ) -> SuiteReport:
     """Run every unit, isolating failures; never raises for a unit's error.
 
@@ -148,12 +161,50 @@ def run_units(
     maps a unit's result to the dict stored on its success record, so a
     resumed run can re-publish outputs without re-running the unit.
 
+    ``jobs`` spreads units over that many forked worker processes
+    (``0`` = one per CPU; default serial).  The parallel path
+    (:mod:`repro.parallel.engine`) produces the same report, journal
+    contents and callback order as this serial loop: workers only
+    compute, while the parent publishes and journals outcomes as a
+    contiguous prefix of spec order.  ``clock``/``sleep`` injection only
+    affects worker-side retry timing through the fork, so tests that
+    fake time should stay serial.
+
     ``KeyboardInterrupt``/``SystemExit`` still propagate (after being
     journaled as a failure when a journal is attached) so an operator's
     Ctrl-C actually stops the run — the journal then makes the rerun
     cheap, which is the whole point.
     """
+    from repro.parallel.pool import resolve_jobs
+
+    worker_count = resolve_jobs(jobs)
+    if worker_count > 1 and len(units) > 1:
+        from repro.parallel.engine import run_units_parallel
+
+        return run_units_parallel(
+            units,
+            jobs=worker_count,
+            journal=journal,
+            resume=resume,
+            retry_policy=retry_policy,
+            deadline_seconds=deadline_seconds,
+            fail_fast=fail_fast,
+            retriable=retriable,
+            on_success=on_success,
+            on_skip=on_skip,
+            on_failure=on_failure,
+            on_retry=on_retry,
+            journal_payload=journal_payload,
+            clock=clock,
+            sleep=sleep,
+        )
+    if any(spec.needs or spec.affinity is not None for spec in units):
+        from repro.parallel.scheduler import validate_units
+
+        validate_units(units)
+
     report = SuiteReport()
+    failed_names = set()
     for spec in units:
         if resume and journal is not None and journal.completed(spec.name):
             previous = journal.get(spec.name)
@@ -166,6 +217,32 @@ def run_units(
             )
             if on_skip is not None:
                 on_skip(spec)
+            continue
+
+        failed_needs = [need for need in spec.needs if need in failed_names]
+        if failed_needs:
+            from repro.errors import ParallelError
+
+            error = ParallelError(f"dependency {failed_needs[0]!r} failed")
+            error_text = f"{type(error).__name__}: {error}"
+            failed_names.add(spec.name)
+            if journal is not None:
+                journal.record_failure(
+                    spec.name, error=error_text, elapsed=0.0, attempts=0
+                )
+            report.outcomes.append(
+                UnitOutcome(
+                    name=spec.name,
+                    status=STATUS_FAILED,
+                    error=error_text,
+                    elapsed=0.0,
+                    attempts=0,
+                )
+            )
+            if on_failure is not None:
+                on_failure(spec, error)
+            if fail_fast:
+                break
             continue
 
         deadline = Deadline(deadline_seconds, clock=clock)
@@ -187,6 +264,7 @@ def run_units(
                 )
 
         def record_unit_failure(error, attempts, _spec=spec, _started=started):
+            failed_names.add(_spec.name)
             elapsed = clock() - _started
             trace_text = "".join(
                 traceback_module.format_exception(

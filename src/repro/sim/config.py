@@ -63,6 +63,21 @@ class TLBConfig:
             return f"{self.entries}e-FA"
         return f"{self.entries}e-{self.associativity}way-{self.scheme.value}"
 
+    def cache_parts(self) -> dict:
+        """This shape as JSON-stable key parts for the result cache.
+
+        Same fields as ``RunResult.to_payload()["config"]``, so a cached
+        payload always round-trips to a config equal to the one that
+        keyed it.
+        """
+        return {
+            "entries": self.entries,
+            "associativity": self.associativity,
+            "scheme": self.scheme.value,
+            "probe_strategy": self.probe_strategy.value,
+            "replacement": self.replacement,
+        }
+
     def build(self) -> TLB:
         """Construct a fresh TLB model for one simulation run."""
         replacement = make_replacement_policy(self.replacement)

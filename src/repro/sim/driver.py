@@ -22,6 +22,11 @@ from typing import Any, Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.parallel.cache import (
+    CACHE_KEY_VERSION,
+    SimulationCache,
+    canonical_key,
+)
 from repro.robustness import faultinject
 from repro.mem.misshandler import (
     SINGLE_SIZE_PENALTY_CYCLES,
@@ -155,6 +160,7 @@ def run_single_size(
     *,
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
     kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
 ) -> RunResult:
     """Simulate one single-page-size TLB over ``trace``.
 
@@ -167,8 +173,44 @@ def run_single_size(
     exactly one reprobe).  Non-LRU replacement is stateful and stays on
     the scalar model; ``kernel="auto"`` falls back silently,
     ``kernel="vector"`` raises.
+
+    With a ``cache``, the result is looked up by content address (trace
+    fingerprint + config + kernel + penalty) before simulating, and
+    stored after; see :mod:`repro.parallel.cache`.
     """
     faultinject.check("sim.driver.run_single_size")
+    key: Optional[str] = None
+    if cache is not None:
+        key = canonical_key(
+            {
+                "version": CACHE_KEY_VERSION,
+                "kind": "single",
+                "trace": trace.fingerprint,
+                "page_size": scheme.page_size,
+                "config": config.cache_parts(),
+                "base_penalty": base_penalty,
+                "kernel": kernel,
+            }
+        )
+        payload = cache.get(key)
+        if payload is not None:
+            return RunResult.from_payload(payload)
+    result = _run_single_size_uncached(
+        trace, scheme, config, base_penalty=base_penalty, kernel=kernel
+    )
+    if cache is not None:
+        cache.put(key, result.to_payload())
+    return result
+
+
+def _run_single_size_uncached(
+    trace: Trace,
+    scheme: SingleSizeScheme,
+    config: TLBConfig,
+    *,
+    base_penalty: float,
+    kernel: str,
+) -> RunResult:
     vector_ok = config.replacement == "lru"
     if resolve_kernel(kernel, vector_supported=vector_ok) == KERNEL_VECTOR:
         pages = np.asarray(
@@ -232,6 +274,7 @@ def run_with_policy(
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
     penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
     kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
 ) -> List[RunResult]:
     """Drive several TLB configs through one policy-managed trace pass.
 
@@ -246,10 +289,63 @@ def run_with_policy(
     ``policy`` untouched — the returned results carry the
     promotion/demotion counts.  ``kernel="auto"`` (default) falls back
     to the scalar pass otherwise; ``kernel="vector"`` raises.
+
+    Caching applies only when ``policy.cache_token()`` is non-None (a
+    fresh, parameter-determined policy): each config's result is
+    addressed by (trace fingerprint, policy token, config, penalties,
+    kernel), and the pass is skipped only when *every* config hits —
+    a single trace pass serves all configs, so partial hits save
+    nothing.  Like the vector kernel, a cache hit leaves ``policy``
+    untouched; read transition counts from the results.
     """
     if not configs:
         raise ConfigurationError("run_with_policy needs at least one TLBConfig")
     faultinject.check("sim.driver.run_with_policy")
+    keys: Optional[List[str]] = None
+    if cache is not None:
+        token = policy.cache_token()
+        if token is not None:
+            keys = [
+                canonical_key(
+                    {
+                        "version": CACHE_KEY_VERSION,
+                        "kind": "policy",
+                        "trace": trace.fingerprint,
+                        "policy": token,
+                        "config": config.cache_parts(),
+                        "base_penalty": base_penalty,
+                        "penalty_factor": penalty_factor,
+                        "kernel": kernel,
+                    }
+                )
+                for config in configs
+            ]
+            payloads = [cache.get(key) for key in keys]
+            if all(payload is not None for payload in payloads):
+                return [RunResult.from_payload(p) for p in payloads]
+    results = _run_with_policy_uncached(
+        trace,
+        policy,
+        configs,
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+        kernel=kernel,
+    )
+    if keys is not None:
+        for key, result in zip(keys, results):
+            cache.put(key, result.to_payload())
+    return results
+
+
+def _run_with_policy_uncached(
+    trace: Trace,
+    policy: PageSizeAssignmentPolicy,
+    configs: Sequence[TLBConfig],
+    *,
+    base_penalty: float,
+    penalty_factor: float,
+    kernel: str,
+) -> List[RunResult]:
     tlbs = [config.build() for config in configs]
     pair = policy.pair
     blocks_shift = log2_exact(pair.blocks_per_chunk)
@@ -343,6 +439,7 @@ def run_two_sizes(
     penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
     policy: Optional[PageSizeAssignmentPolicy] = None,
     kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
 ) -> List[RunResult]:
     """Simulate the paper's two-page-size scheme over ``trace``.
 
@@ -364,4 +461,5 @@ def run_two_sizes(
         base_penalty=base_penalty,
         penalty_factor=penalty_factor,
         kernel=kernel,
+        cache=cache,
     )

@@ -13,7 +13,13 @@ case of Table 5.1's second column.
 Passing a :class:`~repro.robustness.journal.RunJournal` checkpoints each
 (page size, config) result as it is extracted and, on a resumed run,
 skips any stack pass whose entire family of results is already
-journaled — one pass is expensive, its results are precious.
+journaled — one pass is expensive, its results are precious.  A
+:class:`~repro.parallel.cache.SimulationCache` adds a second,
+cross-run layer: results found there are copied into the journal
+without simulating.  ``jobs`` fans independent stack-pass families out
+over the shared worker pool (:func:`repro.parallel.pool.shared_task_pool`),
+shipping the trace once via shared memory instead of pickling it per
+task.
 """
 
 from __future__ import annotations
@@ -24,21 +30,118 @@ import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.mem.misshandler import SINGLE_SIZE_PENALTY_CYCLES
+from repro.parallel.cache import (
+    CACHE_KEY_VERSION,
+    SimulationCache,
+    canonical_key,
+)
+from repro.parallel.pool import resolve_jobs, shared_task_pool
 from repro.perf.kernels import KERNEL_AUTO
 from repro.robustness import faultinject
 from repro.robustness.journal import RunJournal
 from repro.sim.config import SingleSizeScheme, TLBConfig
 from repro.sim.driver import RunResult
-from repro.stacksim.lru_stack import lru_miss_curve, per_set_miss_curve
+from repro.stacksim.lru_stack import (
+    MissCurve,
+    lru_miss_curve,
+    per_set_miss_curve,
+)
 from repro.trace.record import Trace
+from repro.trace.trace_io import (
+    SharedTraceHandle,
+    attach_shared_trace,
+    share_trace,
+)
 from repro.types import log2_exact
 
 
 def _sweep_unit(
     trace: Trace, page_size: int, label: str, index_shift: int
 ) -> str:
-    """Journal key for one (trace, page size, config) sweep result."""
-    return f"sweep:{trace.name}:{page_size}:{label}:shift{index_shift}"
+    """Journal key for one (trace, page size, config) sweep result.
+
+    The key embeds a trace-fingerprint prefix so a journal written
+    against one trace can never satisfy a resume against a different
+    trace of the same name (e.g. a regenerated workload or a different
+    ``--trace-length``).  Journals written before the fingerprint was
+    added simply miss and re-simulate — a deliberate one-time cost.
+    """
+    return (
+        f"sweep:{trace.name}:{trace.fingerprint[:12]}:"
+        f"{page_size}:{label}:shift{index_shift}"
+    )
+
+
+def _sweep_cache_key(
+    trace: Trace,
+    page_size: int,
+    config: TLBConfig,
+    index_shift: int,
+    base_penalty: float,
+    kernel: str,
+) -> str:
+    """Content address for one (trace, page size, config) sweep result."""
+    return canonical_key(
+        {
+            "version": CACHE_KEY_VERSION,
+            "kind": "sweep",
+            "trace": trace.fingerprint,
+            "page_size": page_size,
+            "index_shift": index_shift,
+            "config": config.cache_parts(),
+            "base_penalty": base_penalty,
+            "kernel": kernel,
+        }
+    )
+
+
+def _group_by_sets(configs: Sequence[TLBConfig]) -> Dict[int, List[TLBConfig]]:
+    """Group TLB shapes by set count; each group shares one stack pass."""
+    by_sets: Dict[int, List[TLBConfig]] = {}
+    for config in configs:
+        sets = 1 if config.fully_associative else (
+            config.entries // config.associativity
+        )
+        by_sets.setdefault(sets, []).append(config)
+    return by_sets
+
+
+def _family_depth(sets: int, group: Sequence[TLBConfig]) -> int:
+    return max(
+        config.entries if sets == 1 else config.entries // sets
+        for config in group
+    )
+
+
+def _family_curve(
+    pages: np.ndarray, index_shift: int, sets: int, depth: int, kernel: str
+) -> MissCurve:
+    """One stack pass covering every shape with this set count."""
+    if sets == 1:
+        return lru_miss_curve(pages, max_capacity=depth, kernel=kernel)
+    indices = (pages >> np.uint32(index_shift)) & np.uint32(sets - 1)
+    return per_set_miss_curve(
+        indices, pages, max_associativity=depth, kernel=kernel
+    )
+
+
+def _family_curve_task(
+    handle: SharedTraceHandle,
+    page_shift: int,
+    index_shift: int,
+    sets: int,
+    depth: int,
+    kernel: str,
+) -> MissCurve:
+    """Worker-side stack pass over a shared-memory trace.
+
+    Module-level so it pickles by reference; the trace itself travels as
+    a :class:`SharedTraceHandle` and is attached (and cached) inside the
+    worker rather than being serialized per task.
+    """
+    trace = attach_shared_trace(handle)
+    pages = trace.addresses >> np.uint32(page_shift)
+    return _family_curve(pages, index_shift, sets, depth, kernel)
 
 
 def sweep_single_size(
@@ -50,6 +153,8 @@ def sweep_single_size(
     index_shift: int = 0,
     journal: Optional[RunJournal] = None,
     kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
+    jobs: Optional[int] = None,
 ) -> Dict[Tuple[int, str], RunResult]:
     """Miss counts for every (page size, TLB shape) pair.
 
@@ -64,6 +169,13 @@ def sweep_single_size(
         journal: optional checkpoint journal; completed (page size,
             config) units are replayed from it instead of re-simulated,
             and fresh results are recorded as they are extracted.
+        cache: optional content-addressed result cache, consulted after
+            the journal; hits are recorded into the journal, fresh
+            results are stored back.
+        jobs: fan independent stack-pass families out over this many
+            worker processes (``0`` = one per CPU; default serial).
+            Results, journal contents and their order are identical to
+            a serial sweep.
 
     Returns:
         {(page_size, config.label): RunResult}
@@ -71,61 +183,124 @@ def sweep_single_size(
     if not configs:
         raise ConfigurationError("sweep needs at least one TLBConfig")
     results: Dict[Tuple[int, str], RunResult] = {}
+
+    def record(page_size: int, config: TLBConfig, ways: int, curve: MissCurve):
+        result = RunResult(
+            trace_name=trace.name,
+            scheme_label=SingleSizeScheme(page_size).label,
+            config=config,
+            references=len(trace),
+            misses=curve.misses(ways),
+            large_misses=0,
+            reprobes=0,
+            invalidations=0,
+            promotions=0,
+            demotions=0,
+            refs_per_instruction=trace.refs_per_instruction,
+            miss_penalty_cycles=base_penalty,
+        )
+        results[(page_size, config.label)] = result
+        payload = result.to_payload()
+        if journal is not None:
+            journal.record_success(
+                _sweep_unit(trace, page_size, config.label, index_shift),
+                payload=payload,
+            )
+        if cache is not None:
+            cache.put(
+                _sweep_cache_key(
+                    trace, page_size, config, index_shift, base_penalty, kernel
+                ),
+                payload,
+            )
+
+    pending: List[Tuple[int, List[TLBConfig]]] = []
     for page_size in page_sizes:
         remaining: List[TLBConfig] = []
         for config in configs:
             unit = _sweep_unit(trace, page_size, config.label, index_shift)
-            record = journal.get(unit) if journal is not None else None
-            if record is not None and record.succeeded and record.payload:
+            journal_record = journal.get(unit) if journal is not None else None
+            if (
+                journal_record is not None
+                and journal_record.succeeded
+                and journal_record.payload
+            ):
                 results[(page_size, config.label)] = RunResult.from_payload(
-                    record.payload
+                    journal_record.payload
                 )
-            else:
-                remaining.append(config)
-        if not remaining:
-            continue
-        faultinject.check("sim.sweep")
-        pages = trace.addresses >> np.uint32(log2_exact(page_size))
-        by_sets: Dict[int, List[TLBConfig]] = {}
-        for config in remaining:
-            sets = 1 if config.fully_associative else (
-                config.entries // config.associativity
-            )
-            by_sets.setdefault(sets, []).append(config)
-        for sets, group in by_sets.items():
-            if sets == 1:
-                depth = max(config.entries for config in group)
-                curve = lru_miss_curve(pages, max_capacity=depth, kernel=kernel)
-            else:
-                depth = max(
-                    config.entries // sets for config in group
+                continue
+            if cache is not None:
+                payload = cache.get(
+                    _sweep_cache_key(
+                        trace,
+                        page_size,
+                        config,
+                        index_shift,
+                        base_penalty,
+                        kernel,
+                    )
                 )
-                indices = (pages >> np.uint32(index_shift)) & np.uint32(sets - 1)
-                curve = per_set_miss_curve(
-                    indices, pages, max_associativity=depth, kernel=kernel
+                if payload is not None:
+                    results[(page_size, config.label)] = (
+                        RunResult.from_payload(payload)
+                    )
+                    if journal is not None:
+                        journal.record_success(unit, payload=payload)
+                    continue
+            remaining.append(config)
+        if remaining:
+            pending.append((page_size, remaining))
+
+    worker_count = resolve_jobs(jobs)
+    family_count = sum(
+        len(_group_by_sets(remaining)) for _size, remaining in pending
+    )
+    if worker_count > 1 and family_count > 1:
+        # Parallel: every pending page size's fault check runs up front
+        # (serial interleaves them with the passes), then the stack
+        # passes fan out over the persistent shared pool with the trace
+        # attached once per worker via shared memory.  Extraction — and
+        # therefore the journal record order — replays the serial
+        # (page size, set-count group, config) order.
+        families: List[Tuple[int, int, int, List[TLBConfig]]] = []
+        for page_size, remaining in pending:
+            faultinject.check("sim.sweep")
+            for sets, group in _group_by_sets(remaining).items():
+                families.append(
+                    (page_size, sets, _family_depth(sets, group), group)
                 )
+        handle = share_trace(trace)
+        curves = shared_task_pool(worker_count).run_calls(
+            calls=[
+                (
+                    _family_curve_task,
+                    (
+                        handle,
+                        log2_exact(page_size),
+                        index_shift,
+                        sets,
+                        depth,
+                        kernel,
+                    ),
+                )
+                for page_size, sets, depth, _group in families
+            ]
+        )
+        for (page_size, sets, _depth, group), curve in zip(families, curves):
             for config in group:
                 ways = config.entries if sets == 1 else config.entries // sets
-                result = RunResult(
-                    trace_name=trace.name,
-                    scheme_label=SingleSizeScheme(page_size).label,
-                    config=config,
-                    references=len(trace),
-                    misses=curve.misses(ways),
-                    large_misses=0,
-                    reprobes=0,
-                    invalidations=0,
-                    promotions=0,
-                    demotions=0,
-                    refs_per_instruction=trace.refs_per_instruction,
-                    miss_penalty_cycles=base_penalty,
-                )
-                results[(page_size, config.label)] = result
-                if journal is not None:
-                    journal.record_success(
-                        _sweep_unit(
-                            trace, page_size, config.label, index_shift
-                        ),
-                        payload=result.to_payload(),
+                record(page_size, config, ways, curve)
+    else:
+        for page_size, remaining in pending:
+            faultinject.check("sim.sweep")
+            pages = trace.addresses >> np.uint32(log2_exact(page_size))
+            for sets, group in _group_by_sets(remaining).items():
+                depth = _family_depth(sets, group)
+                curve = _family_curve(pages, index_shift, sets, depth, kernel)
+                for config in group:
+                    ways = (
+                        config.entries if sets == 1
+                        else config.entries // sets
                     )
+                    record(page_size, config, ways, curve)
     return results

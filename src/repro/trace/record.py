@@ -15,6 +15,7 @@ and hence into CPI.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence, Union
 
@@ -70,7 +71,13 @@ class Trace:
             executed (Table 3.1's "RPI"); used by CPI metrics.
     """
 
-    __slots__ = ("addresses", "kinds", "name", "refs_per_instruction")
+    __slots__ = (
+        "addresses",
+        "kinds",
+        "name",
+        "refs_per_instruction",
+        "_fingerprint",
+    )
 
     def __init__(
         self,
@@ -102,6 +109,7 @@ class Trace:
         self.kinds = kind_array
         self.name = name
         self.refs_per_instruction = float(refs_per_instruction)
+        self._fingerprint = None
 
     @classmethod
     def from_references(
@@ -152,6 +160,27 @@ class Trace:
             f"Trace(name={self.name!r}, length={len(self)}, "
             f"rpi={self.refs_per_instruction:.2f})"
         )
+
+    @property
+    def fingerprint(self) -> str:
+        """SHA-256 over the trace's *content* (hex digest, cached).
+
+        Covers the reference stream (addresses and kinds), the workload
+        name and the RPI — everything that can change a simulation
+        result.  Two traces with the same name but different contents
+        (e.g. a regenerated workload after a generator bump) therefore
+        get different fingerprints, which is what keys journals and the
+        content-addressed result cache.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(self.name.encode("utf-8"))
+            digest.update(np.float64(self.refs_per_instruction).tobytes())
+            digest.update(np.uint64(len(self)).tobytes())
+            digest.update(self.addresses.tobytes())
+            digest.update(self.kinds.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @property
     def instruction_count(self) -> float:

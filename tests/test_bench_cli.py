@@ -79,6 +79,29 @@ class TestComparator:
         with pytest.raises(BenchmarkError):
             compare_reports(current, baseline, threshold_percent=10.0)
 
+    def test_per_unit_threshold_overrides_global(self):
+        # a drops 40%: a regression at the global 10%, but unit "a"
+        # carries its own 50% threshold (as the suite-level units do).
+        baseline = _report({"a": 10.0, "b": 3.0})
+        baseline["units"][0]["threshold_percent"] = 50.0
+        current = _report({"a": 6.0, "b": 3.0})
+        result = compare_reports(current, baseline, threshold_percent=10.0)
+        assert result.ok
+        # ... and a 60% drop still trips the per-unit threshold.
+        current = _report({"a": 4.0, "b": 3.0})
+        result = compare_reports(current, baseline, threshold_percent=10.0)
+        assert [unit.name for unit in result.regressions] == ["a"]
+
+    def test_bad_per_unit_threshold_is_an_error(self):
+        baseline = _report({"a": 10.0})
+        current = _report({"a": 10.0})
+        baseline["units"][0]["threshold_percent"] = "wide"
+        with pytest.raises(BenchmarkError, match="non-numeric"):
+            compare_reports(current, baseline, threshold_percent=10.0)
+        baseline["units"][0]["threshold_percent"] = -5.0
+        with pytest.raises(BenchmarkError, match="negative"):
+            compare_reports(current, baseline, threshold_percent=10.0)
+
 
 class TestLoadReport:
     def test_missing_file(self, tmp_path):
@@ -204,7 +227,8 @@ class TestSuiteSmoke:
         path = write_report(report, tmp_path)
         loaded = load_report(path)
         names = [unit["name"] for unit in loaded["units"]]
-        assert names == [unit.name for unit in bench.SUITE]
+        expected = [unit.name for unit in bench.SUITE] + list(bench.SUITE_LEVEL)
+        assert names == expected
         headline = loaded["units"][0]
         assert headline["name"] == "single_size/32e-2way"
         assert headline["speedup"] > 1.0  # vector must actually win

@@ -1,0 +1,421 @@
+"""The multi-process experiment engine (marker: ``parallel``).
+
+The contract under test is *equivalence*: a parallel run must produce
+the same results, the same journal records in the same order, and the
+same published outputs as a serial run — only the wall clock may
+differ.  Plus the failure story: a worker that dies mid-unit fails only
+that unit, and a journal written under ``jobs=4`` resumes serially.
+"""
+
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+from repro.errors import ParallelError
+from repro.parallel.pool import (
+    fork_available,
+    in_worker,
+    parallel_map,
+    resolve_jobs,
+)
+from repro.parallel.scheduler import (
+    AffinityRouter,
+    topological_order,
+    transitive_dependents,
+    validate_units,
+)
+from repro.robustness.executor import UnitSpec, run_units
+from repro.robustness.journal import RunJournal
+from repro.robustness.retry import RetryPolicy
+from repro.sim.config import TLBConfig
+from repro.sim.sweep import sweep_single_size
+from repro.trace.trace_io import (
+    attach_shared_trace,
+    share_trace,
+)
+from repro.workloads.registry import generate_trace
+
+pytestmark = [
+    pytest.mark.parallel,
+    pytest.mark.skipif(not fork_available(), reason="needs fork"),
+]
+
+
+def _spec(name, value, needs=(), affinity=None):
+    """A deterministic unit: squares its value (picklable result)."""
+    return UnitSpec(
+        name=name,
+        run=lambda v=value: v * v,
+        needs=tuple(needs),
+        affinity=affinity,
+    )
+
+
+def _journal_units(path):
+    """Unit names in on-disk record order (not the replayed dict)."""
+    names = []
+    with open(path, encoding="utf-8") as stream:
+        for line in stream:
+            record = json.loads(line)
+            if record.get("type") == "unit":
+                names.append(record["unit"])
+    return names
+
+
+class TestScheduler:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ParallelError, match="duplicate"):
+            validate_units([_spec("a", 1), _spec("a", 2)])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ParallelError, match="unknown"):
+            validate_units([_spec("a", 1, needs=("ghost",))])
+
+    def test_self_dependency_rejected(self):
+        with pytest.raises(ParallelError, match="itself"):
+            validate_units([_spec("a", 1, needs=("a",))])
+
+    def test_dependency_after_dependent_rejected(self):
+        with pytest.raises(ParallelError, match="listed after"):
+            validate_units([_spec("a", 1, needs=("b",)), _spec("b", 2)])
+
+    def test_topological_order_is_stable(self):
+        units = [
+            _spec("a", 1),
+            _spec("b", 2, needs=("a",)),
+            _spec("c", 3),
+            _spec("d", 4, needs=("b", "c")),
+        ]
+        # Already dependency-consistent: spec order comes back verbatim.
+        assert topological_order(units) == [0, 1, 2, 3]
+
+    def test_transitive_dependents(self):
+        units = [
+            _spec("a", 1),
+            _spec("b", 2, needs=("a",)),
+            _spec("c", 3, needs=("b",)),
+            _spec("d", 4),
+        ]
+        assert transitive_dependents(units, "a") == {"b", "c"}
+
+    def test_affinity_router_is_sticky(self):
+        router = AffinityRouter()
+        grouped = _spec("a", 1, affinity="g")
+        assert router.pick_worker(grouped, [2, 0, 1]) == 2
+        # Bound worker busy: the unit waits even though others are idle.
+        assert router.pick_worker(_spec("b", 2, affinity="g"), [0, 1]) is None
+        assert router.pick_worker(_spec("c", 3, affinity="g"), [1, 2]) == 2
+        # No affinity: least-loaded idle worker, no waiting.
+        assert router.pick_worker(_spec("d", 4), [0, 1]) == 0
+        router.forget_worker(2)
+        assert router.pick_worker(_spec("e", 5, affinity="g"), [1]) == 1
+
+
+class TestPool:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        with pytest.raises(ParallelError):
+            resolve_jobs(-1)
+
+    def test_parallel_map_preserves_order(self):
+        thunks = [lambda i=i: i * 10 for i in range(7)]
+        assert parallel_map(thunks, jobs=2) == [i * 10 for i in range(7)]
+        assert parallel_map(thunks, jobs=None) == [i * 10 for i in range(7)]
+
+    def test_parallel_map_raises_lowest_indexed_error(self):
+        def boom():
+            raise ValueError("boom")
+
+        thunks = [lambda: 1, boom, lambda: 3]
+        with pytest.raises(Exception, match="boom") as info:
+            parallel_map(thunks, jobs=2)
+        assert type(info.value).__name__ == "ValueError"
+
+    def test_no_nested_parallelism(self):
+        assert not in_worker()
+        # Inside a worker, any jobs request resolves to serial.
+        assert parallel_map([lambda: resolve_jobs(4)] * 2, jobs=2) == [1, 1]
+        assert parallel_map([in_worker] * 2, jobs=2) == [True, True]
+
+
+class TestSharedTraces:
+    def test_round_trip_and_attach_cache(self):
+        trace = generate_trace("li", 3000, seed=11)
+        handle = share_trace(trace)
+        # Idempotent per content: same fingerprint, same segment.
+        assert share_trace(trace).shm_name == handle.shm_name
+        attached = attach_shared_trace(handle)
+        assert attached is attach_shared_trace(handle)  # per-process cache
+        assert attached.name == trace.name
+        assert attached.fingerprint == trace.fingerprint
+        np.testing.assert_array_equal(attached.addresses, trace.addresses)
+        np.testing.assert_array_equal(attached.kinds, trace.kinds)
+
+    def test_worker_reads_shared_trace(self):
+        trace = generate_trace("espresso", 3000, seed=5)
+        handle = share_trace(trace)
+        sums = parallel_map(
+            [lambda: int(attach_shared_trace(handle).addresses.sum())] * 2,
+            jobs=2,
+        )
+        assert sums == [int(trace.addresses.sum())] * 2
+
+
+class TestRunUnitsEquivalence:
+    def _run(self, tmp_path, tag, jobs, fail=(), flaky=()):
+        published = []
+        outdir = tmp_path / tag
+        outdir.mkdir()
+        attempts_left = {name: 1 for name in flaky}
+
+        def make(name, value):
+            def task(v=value, _name=name):
+                if _name in fail:
+                    raise RuntimeError(f"{_name} exploded")
+                if attempts_left.get(_name, 0) > 0:
+                    attempts_left[_name] -= 1
+                    raise RuntimeError(f"{_name} hiccup")
+                return v * v
+
+            return UnitSpec(name=name, run=task)
+
+        units = [make(f"u{i}", i) for i in range(5)]
+
+        def publish(spec, result, elapsed):
+            published.append((spec.name, result))
+            (outdir / f"{spec.name}.txt").write_text(f"{spec.name}={result}\n")
+
+        journal = RunJournal(tmp_path / f"{tag}.jsonl", fingerprint={"s": 1})
+        report = run_units(
+            units,
+            journal=journal,
+            retry_policy=RetryPolicy(max_attempts=2, base_delay=0.0),
+            on_success=publish,
+            journal_payload=lambda spec, result: {"value": result},
+            jobs=jobs,
+        )
+        files = {
+            path.name: path.read_text() for path in sorted(outdir.iterdir())
+        }
+        return report, published, files, journal
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    def test_identical_to_serial(self, tmp_path, jobs):
+        serial = self._run(tmp_path, "serial", None, flaky={"u2"})
+        parallel = self._run(tmp_path, f"jobs{jobs}", jobs, flaky={"u2"})
+        # Same published results in the same (spec) order...
+        assert parallel[1] == serial[1]
+        # ... same output files byte for byte ...
+        assert parallel[2] == serial[2]
+        # ... same journal records in the same on-disk order ...
+        assert _journal_units(tmp_path / f"jobs{jobs}.jsonl") == _journal_units(
+            tmp_path / "serial.jsonl"
+        )
+        # ... and the same statuses, attempts and payloads per unit.
+        for ours, theirs in zip(parallel[0].outcomes, serial[0].outcomes):
+            assert (ours.name, ours.status, ours.attempts) == (
+                theirs.name,
+                theirs.status,
+                theirs.attempts,
+            )
+        assert parallel[3].get("u2").payload == {"value": 4}
+        assert parallel[0].outcomes[2].attempts == 2  # the flaky unit
+
+    def test_failure_isolated_and_exit_one(self, tmp_path):
+        report, published, _files, journal = self._run(
+            tmp_path, "fail", 2, fail={"u1"}
+        )
+        assert report.exit_code == 1
+        statuses = {o.name: o.status for o in report.outcomes}
+        assert statuses == {
+            "u0": "ok", "u1": "failed", "u2": "ok", "u3": "ok", "u4": "ok"
+        }
+        assert [name for name, _ in published] == ["u0", "u2", "u3", "u4"]
+        record = journal.get("u1")
+        assert not record.succeeded and "exploded" in record.error
+
+    def test_affinity_groups_share_a_worker(self):
+        units = [
+            UnitSpec(name=f"g{i}", run=os.getpid, affinity="same")
+            for i in range(4)
+        ]
+        report = run_units(units, jobs=2)
+        pids = {outcome.result for outcome in report.outcomes}
+        assert len(pids) == 1 and os.getpid() not in pids
+
+    def test_failed_dependency_fails_dependent(self, tmp_path):
+        def boom():
+            raise RuntimeError("root failed")
+
+        units = [
+            UnitSpec(name="root", run=boom),
+            UnitSpec(name="leaf", run=lambda: 1, needs=("root",)),
+            UnitSpec(name="free", run=lambda: 2),
+        ]
+        for jobs in (None, 2):
+            report = run_units(
+                units,
+                retry_policy=RetryPolicy(max_attempts=1, base_delay=0.0),
+                jobs=jobs,
+            )
+            statuses = {o.name: o.status for o in report.outcomes}
+            assert statuses == {
+                "root": "failed", "leaf": "failed", "free": "ok"
+            }
+            leaf = next(o for o in report.outcomes if o.name == "leaf")
+            assert "dependency" in leaf.error
+
+
+class TestWorkerCrash:
+    def test_dead_worker_fails_only_its_unit(self, tmp_path):
+        units = [
+            UnitSpec(name="ok1", run=lambda: 1),
+            UnitSpec(name="doomed", run=lambda: os._exit(3)),
+            UnitSpec(name="ok2", run=lambda: 2),
+            UnitSpec(name="ok3", run=lambda: 3),
+        ]
+        journal = RunJournal(tmp_path / "crash.jsonl", fingerprint={"s": 1})
+        report = run_units(
+            units,
+            journal=journal,
+            retry_policy=RetryPolicy(max_attempts=1, base_delay=0.0),
+            jobs=2,
+        )
+        assert report.exit_code == 1
+        statuses = {o.name: o.status for o in report.outcomes}
+        assert statuses == {
+            "ok1": "ok", "doomed": "failed", "ok2": "ok", "ok3": "ok"
+        }
+        doomed = next(o for o in report.outcomes if o.name == "doomed")
+        assert "WorkerCrashError" in doomed.error
+        assert "exited with code 3" in doomed.error
+        # The crash is journaled like any other failure.
+        assert not journal.get("doomed").succeeded
+
+
+class TestResumeAcrossModes:
+    def test_serial_resume_from_parallel_journal(self, tmp_path):
+        path = tmp_path / "resume.jsonl"
+        calls = []
+
+        def make(name, broken):
+            def task(_name=name):
+                calls.append(_name)
+                if broken:
+                    raise RuntimeError(f"{_name} broken")
+                return _name.upper()
+
+            return UnitSpec(name=name, run=task)
+
+        first = [make("a", False), make("b", True), make("c", False),
+                 make("d", False)]
+        journal = RunJournal(path, fingerprint={"s": 1})
+        report = run_units(
+            first,
+            journal=journal,
+            retry_policy=RetryPolicy(max_attempts=1, base_delay=0.0),
+            jobs=4,
+        )
+        assert report.exit_code == 1
+        # Journal records land in spec order even under jobs=4.
+        assert _journal_units(path) == ["a", "b", "c", "d"]
+
+        # Second run: serial, resumed, with the broken unit repaired.
+        calls.clear()
+        second = [make("a", False), make("b", False), make("c", False),
+                  make("d", False)]
+        journal = RunJournal(path, fingerprint={"s": 1})
+        report = run_units(
+            second, journal=journal, resume=True, jobs=None
+        )
+        assert report.exit_code == 0
+        statuses = [(o.name, o.status) for o in report.outcomes]
+        assert statuses == [
+            ("a", "skipped"), ("b", "ok"), ("c", "skipped"), ("d", "skipped")
+        ]
+        # Only the repaired unit actually ran again... in the parent.
+        assert calls == ["b"]
+
+
+class TestSweepParallel:
+    CONFIGS = (
+        TLBConfig(entries=16, associativity=2),
+        TLBConfig(entries=8),  # fully associative: its own pass family
+    )
+
+    def test_jobs_two_matches_serial(self, tmp_path):
+        trace = generate_trace("li", 6000, seed=3)
+        serial_journal = RunJournal(tmp_path / "s.jsonl", fingerprint={"s": 1})
+        parallel_journal = RunJournal(
+            tmp_path / "p.jsonl", fingerprint={"s": 1}
+        )
+        serial = sweep_single_size(
+            trace, (4096, 8192), self.CONFIGS, journal=serial_journal
+        )
+        parallel = sweep_single_size(
+            trace,
+            (4096, 8192),
+            self.CONFIGS,
+            journal=parallel_journal,
+            jobs=2,
+        )
+        assert serial.keys() == parallel.keys()
+        for key in serial:
+            assert serial[key].to_payload() == parallel[key].to_payload()
+        assert _journal_units(tmp_path / "s.jsonl") == _journal_units(
+            tmp_path / "p.jsonl"
+        )
+
+
+@dataclass
+class FakeArtifact:
+    """Minimal experiment result (module-level: workers pickle it back)."""
+
+    text: str
+
+    def render(self):
+        return self.text
+
+
+def _fake_alpha(scale):
+    return FakeArtifact(f"alpha@{scale.trace_length}")
+
+
+def _fake_beta(scale):
+    return FakeArtifact(f"beta@{scale.window}")
+
+
+class TestRunnerJobs:
+    def test_cli_jobs_matches_serial(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import runner
+
+        monkeypatch.setattr(
+            runner, "EXPERIMENTS", {"alpha": _fake_alpha, "beta": _fake_beta}
+        )
+        serial_dir, parallel_dir = tmp_path / "serial", tmp_path / "jobs2"
+        assert runner.main(["--results-dir", str(serial_dir)]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            runner.main(["--results-dir", str(parallel_dir), "--jobs", "2"])
+            == 0
+        )
+        parallel_out = capsys.readouterr().out
+
+        def stable(text):
+            # Drop the wall-clock suffix lines ("[name: 1.2s]").
+            return [
+                line
+                for line in text.splitlines()
+                if not (line.startswith("[") and line.endswith("s]"))
+            ]
+
+        assert stable(parallel_out) == stable(serial_out)
+        assert {p.name: p.read_text() for p in parallel_dir.iterdir()} == {
+            p.name: p.read_text() for p in serial_dir.iterdir()
+        }
