@@ -290,10 +290,7 @@ def run_split_ablation(scale: ExperimentScale = None) -> SplitAblation:
     """Compare a split TLB to a unified one on the ablation workloads."""
     if scale is None:
         scale = default_scale()
-    from repro.policy.promotion import DynamicPromotionPolicy
-    from repro.tlb.fully_assoc import FullyAssociativeTLB
-    from repro.tlb.split import SplitTLB
-    from repro.types import log2_exact
+    from repro.sim.driver import run_split_two_sizes
 
     cache = scale.sim_cache()
     unified_cpi: Dict[str, float] = {}
@@ -305,25 +302,12 @@ def run_split_ablation(scale: ExperimentScale = None) -> SplitAblation:
         (unified,) = run_two_sizes(trace, scheme, [TLBConfig(16)], cache=cache)
         unified_cpi[name] = unified.cpi_tlb
 
-        # The split composite is not a TLBConfig shape, so drive it
-        # directly through the policy loop.
-        split = SplitTLB(FullyAssociativeTLB(12), FullyAssociativeTLB(4))
-        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, scale.window)
-        pair = policy.pair
-        shift = log2_exact(pair.blocks_per_chunk)
-        blocks = (trace.addresses >> pair.small_shift).tolist()
-        for block in blocks:
-            decision = policy.access_block(block)
-            if decision.demoted_chunk is not None:
-                split.invalidate_large_page(decision.demoted_chunk)
-            if decision.promoted_chunk is not None:
-                split.invalidate_small_pages_of_chunk(
-                    decision.promoted_chunk, pair.blocks_per_chunk
-                )
-            split.access(block, block >> shift, decision.large)
+        split = run_split_two_sizes(
+            trace, scheme, TLBConfig(12), TLBConfig(4), cache=cache
+        )
         instructions = len(trace) / trace.refs_per_instruction
-        split_cpi[name] = split.stats.misses * 25.0 / instructions
-        utilisation[name] = split.large_tlb.occupancy() / 4.0
+        split_cpi[name] = split.misses * 25.0 / instructions
+        utilisation[name] = split.large_occupancy / 4.0
     return SplitAblation(unified_cpi, split_cpi, utilisation, scale)
 
 

@@ -35,8 +35,10 @@ from repro.errors import CacheError
 
 #: Entry-file schema; bump on layout changes.
 CACHE_SCHEMA = "repro-cache/1"
-#: Simulation-semantics counter folded into every key.
-CACHE_KEY_VERSION = 1
+#: Simulation-semantics counter folded into every key.  ``2``: keys now
+#: store the *resolved* kernel ("scalar"/"vector", never "auto") and the
+#: two-size vector path moved to the epoch-segmented kernel.
+CACHE_KEY_VERSION = 2
 
 
 def canonical_key(parts: Mapping[str, Any]) -> str:

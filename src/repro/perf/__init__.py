@@ -8,6 +8,9 @@ by per-reference inner loops.  This package supplies:
   sliding-window membership), used by :mod:`repro.stacksim`,
   :mod:`repro.sim.driver` and :mod:`repro.policy` behind a
   ``kernel="scalar"|"vector"`` switch;
+* :mod:`repro.perf.twosize` — the epoch-segmented all-geometry kernel
+  for two-page-size simulation (``run_with_policy``/``run_two_sizes``
+  and ``SplitTLB``), exact against the scalar TLB models;
 * :mod:`repro.perf.bench` — the ``repro-bench`` console entry point,
   which times a pinned suite and writes machine-readable
   ``BENCH_<rev>.json`` reports;
@@ -27,13 +30,23 @@ from repro.perf.kernels import (
     stack_depths,
     window_events,
 )
+from repro.perf.twosize import (
+    SplitCounts,
+    TwoSizeCounts,
+    split_two_size_counts,
+    two_size_counts,
+)
 
 __all__ = [
     "KERNEL_AUTO",
     "KERNEL_SCALAR",
     "KERNEL_VECTOR",
+    "SplitCounts",
+    "TwoSizeCounts",
     "previous_occurrences",
     "resolve_kernel",
+    "split_two_size_counts",
     "stack_depths",
+    "two_size_counts",
     "window_events",
 ]

@@ -38,8 +38,10 @@ from repro.errors import BenchmarkError
 #: Schema identifier stamped into every report; bump on layout changes.
 #: ``/2`` added suite-level units (parallel sweep wall time, result-cache
 #: cold/warm) alongside the kernel units, and per-unit
-#: ``threshold_percent`` overrides in the baseline.
-REPORT_SCHEMA = "repro-bench/2"
+#: ``threshold_percent`` overrides in the baseline.  ``/3`` added the
+#: ``suite/two-size-kernel`` all-geometry sweep unit (epoch-segmented
+#: two-page-size kernel vs the scalar TLB walk).
+REPORT_SCHEMA = "repro-bench/3"
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:

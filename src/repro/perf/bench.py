@@ -6,7 +6,9 @@ kernel — and writes a machine-readable ``BENCH_<rev>.json`` report:
 wall time, references/second and the vector/scalar speedup per unit,
 plus peak RSS for the process.
 
-Two *suite-level* units ride along with the kernel units:
+``suite/two-size-kernel`` is the all-geometry two-page-size sweep (the
+Table 5.1 shapes from one epoch-segmented pass, timed scalar vs vector
+like the kernel units).  Two *suite-level* units ride along:
 
 * ``suite/parallel-sweep`` — one configuration sweep timed serially and
   again at ``--jobs N`` through the shared worker pool, recording both
@@ -66,6 +68,7 @@ from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
 from repro.sim.driver import run_single_size, run_two_sizes
 from repro.sim.sweep import sweep_single_size
 from repro.stacksim.lru_stack import lru_miss_curve
+from repro.tlb.indexing import IndexingScheme, ProbeStrategy
 from repro.trace.record import Trace
 from repro.types import PAIR_4KB_32KB
 from repro.workloads.registry import generate_trace
@@ -115,6 +118,33 @@ def _unit_two_size(trace: Trace, kernel: str) -> Any:
     return run_two_sizes(trace, _TWO_SIZE, [_CONFIG_16E_FA], kernel=kernel)
 
 
+#: Pinned geometries for ``suite/two-size-kernel``: the Table 5.1 shapes
+#: (16/32-entry two-way under each indexing scheme, sequential exact
+#: probing included) plus the fully associative TLBs — all evaluated
+#: from one epoch-segmented trace pass under the vector kernel.
+_TWO_SIZE_SWEEP_CONFIGS = (
+    _CONFIG_16E_FA,
+    TLBConfig(entries=32),
+    TLBConfig(entries=16, associativity=2, scheme=IndexingScheme.SMALL_INDEX),
+    TLBConfig(entries=16, associativity=2, scheme=IndexingScheme.LARGE_INDEX),
+    TLBConfig(entries=32, associativity=2, scheme=IndexingScheme.LARGE_INDEX),
+    TLBConfig(entries=16, associativity=2, scheme=IndexingScheme.EXACT_INDEX),
+    TLBConfig(entries=32, associativity=2, scheme=IndexingScheme.EXACT_INDEX),
+    TLBConfig(
+        entries=32,
+        associativity=2,
+        scheme=IndexingScheme.EXACT_INDEX,
+        probe_strategy=ProbeStrategy.SEQUENTIAL,
+    ),
+)
+
+
+def _unit_two_size_sweep(trace: Trace, kernel: str) -> Any:
+    return run_two_sizes(
+        trace, _TWO_SIZE, list(_TWO_SIZE_SWEEP_CONFIGS), kernel=kernel
+    )
+
+
 def _unit_working_set(trace: Trace, kernel: str) -> Any:
     return dynamic_average_working_set(
         trace, PAIR_4KB_32KB, 10_000, kernel=kernel
@@ -129,6 +159,7 @@ SUITE = (
     BenchUnit("stacksim/curve-64", "espresso", _unit_curve),
     BenchUnit("policy/two-size-16e-FA", "espresso", _unit_two_size),
     BenchUnit("policy/working-set", "matrix300", _unit_working_set),
+    BenchUnit("suite/two-size-kernel", "espresso", _unit_two_size_sweep),
 )
 
 #: Suite-level unit names, in reporting order (after the kernel units).

@@ -1,0 +1,852 @@
+"""Epoch-segmented all-geometry kernel for two-page-size TLB simulation.
+
+:mod:`repro.perf.kernels` turned the single-size TLB model into one
+vectorized stack-distance pass, but the two-page-size runs kept a
+per-reference Python loop over stateful TLB objects: promotions and
+demotions invalidate entries mid-trace, so the block -> (set, key)
+mapping is not constant over the trace and a plain stack pass is wrong.
+This module removes that loop, for every supported organisation at
+once — the two-size analogue of ``stacksim.allassoc`` and the paper's
+own many-configurations-per-pass ``tycho`` economics.
+
+Epoch segmentation
+------------------
+The policy's decision stream is already an array pass
+(:func:`repro.policy.vector.policy_decisions`).  Its transition events
+split each chunk's reference stream into *epochs*: between two events
+on a chunk, the mapping from a reference to its set index and lookup
+key is static for SMALL_INDEX / LARGE_INDEX / EXACT_INDEX and for the
+split organisation.  The kernel therefore
+
+1. tags every reference's effective page key with its chunk's epoch
+   counter.  An entry invalidated by an event can then never match a
+   reference from a later epoch: the next touch of that page has no
+   prior occurrence under the re-tagged key and is a forced miss,
+   exactly as after the scalar model's shootdown.  The tag is the
+   *global* event counter at the reference (one ``searchsorted`` over
+   packed ``(chunk, ref)`` event keys); combined with the page key it
+   is equivalent to a per-chunk counter, and it is exact because two
+   same-key references in different same-parity epochs are always
+   separated by an invalidating event of the right kind;
+2. reorders the stream set-major, collapses consecutive duplicate
+   (set, key) runs (depth-0 hits — a run can never span an event on
+   its own chunk, the re-tag would split it), and computes LRU stack
+   depths once per *family* — a (set-selection rule, set count) pair.
+   Every requested entry count x associativity of that family is then
+   a histogram lookup on the shared depth arrays;
+3. models the *capacity* side effect of invalidations — a removed
+   entry frees its slot, which can turn a later would-be eviction into
+   a hit — with a sparse per-event correction pass (below).
+
+Step 1 alone makes the naive depth pass an over-count of misses; step 3
+makes it exact, bit-identical to the scalar TLB objects.
+
+The correction pass
+-------------------
+Within one set, consider a key ``k`` last touched at collapsed position
+``p`` and queried (re-touched, deleted, or still resident at the end)
+later.  Under LRU-with-deletions, while ``k`` is resident no entry
+*above* it (more recently touched) is ever evicted: an eviction takes
+the stack bottom, and everything below ``k`` goes first.  So the count
+of entries above ``k`` is always ``n - r``, where ``n`` counts distinct
+keys touched since ``p`` and ``r`` counts deletions of entries that
+were (a) touched after ``p`` and (b) still resident when deleted.
+``k`` is evicted before its query iff ``n - r`` reaches the capacity
+``C`` at some event boundary or at the query itself.  Deletions of
+entries *below* ``k`` never matter — they only remove entries that
+would have been evicted before ``k`` anyway.
+
+The ingredients are all sparse (events are rare policy transitions):
+
+* **tombstones** — per event, the distinct (set, key) pairs of the
+  epoch it ends, each carrying the key's last touch ``L`` and the
+  event's position ``E``.  Whether the deleted entry was still
+  *resident* at ``E`` (per capacity, by the same rule applied
+  recursively in event order) decides both the invalidation count and
+  whether the deletion frees a slot for later queries;
+* ``n_at(P, p)`` — distinct keys touched in positions ``(p, P)``, a
+  prefix count of ``cprev <= p``;
+* per capacity, a short chronological scan over each affected query's
+  applicable tombstones (its *stages*): at stage ``j`` the query is
+  evicted if ``n_j - r_{j-1} >= C``, else ``r`` grows by the stage's
+  residency verdict; finally the query hits iff ``depth - r < C``.
+
+Corrections only ever flip a naive miss into an exact hit, and only
+for queries whose reuse window crosses an event, so the scan stays
+sparse while every bulk quantity remains one numpy pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    NamedTuple,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.perf.kernels import _count_greater_preceding, previous_occurrences
+from repro.tlb.indexing import IndexingScheme, ProbeStrategy
+
+if TYPE_CHECKING:  # import cycle: sim.config pulls in the driver package
+    from repro.policy.vector import PolicyDecisions
+    from repro.sim.config import TLBConfig
+
+__all__ = [
+    "TwoSizeCounts",
+    "SplitCounts",
+    "two_size_counts",
+    "split_two_size_counts",
+]
+
+_FA_FAMILY = "fa"
+
+
+@dataclass(frozen=True)
+class TwoSizeCounts:
+    """Exact per-configuration counters of one two-size trace pass."""
+
+    misses: int
+    large_misses: int
+    reprobes: int
+    invalidations: int
+
+
+@dataclass(frozen=True)
+class SplitCounts:
+    """Exact counters of one :class:`~repro.tlb.split.SplitTLB` pass.
+
+    ``small_occupancy`` / ``large_occupancy`` are the component entry
+    counts still resident at the end of the trace (the ablation's
+    utilisation metric).
+    """
+
+    misses: int
+    large_misses: int
+    invalidations: int
+    small_occupancy: int
+    large_occupancy: int
+
+
+@dataclass(frozen=True)
+class _EventPlan:
+    """Transition events in time order, plus per-reference epoch tags.
+
+    ``ev_ref``/``ev_chunk``/``ev_promote`` list the events with a
+    demotion ordered before a promotion landing on the same reference
+    (the scalar driver's shootdown order).  ``epoch[i]`` is the global
+    event count at reference ``i`` — events at reference ``i`` apply
+    *before* the access, so reference ``i`` belongs to the new epoch.
+    ``ended_refs(j)`` yields event ``j``'s ended epoch: the references
+    of its chunk since that chunk's previous event.
+    """
+
+    ev_ref: np.ndarray
+    ev_chunk: np.ndarray
+    ev_promote: np.ndarray
+    epoch: np.ndarray
+    _ref_order: np.ndarray
+    _lo: np.ndarray
+    _hi: np.ndarray
+
+    @property
+    def num_events(self) -> int:
+        return int(self.ev_ref.size)
+
+    def ended_refs(self, event: int) -> np.ndarray:
+        """Ascending reference indices of the epoch event ``event`` ends."""
+        return self._ref_order[self._lo[event] : self._hi[event]]
+
+
+def _event_plan(chunks: np.ndarray, decisions: PolicyDecisions) -> _EventPlan:
+    n = int(chunks.size)
+    d_refs = np.flatnonzero(decisions.demoted >= 0)
+    p_refs = np.flatnonzero(decisions.promoted >= 0)
+    ev_ref = np.concatenate([d_refs, p_refs]).astype(np.int64)
+    ev_chunk = np.concatenate(
+        [decisions.demoted[d_refs], decisions.promoted[p_refs]]
+    ).astype(np.int64)
+    ev_promote = np.concatenate(
+        [
+            np.zeros(d_refs.size, dtype=bool),
+            np.ones(p_refs.size, dtype=bool),
+        ]
+    )
+    order = np.lexsort((ev_promote, ev_ref))
+    ev_ref = ev_ref[order]
+    ev_chunk = ev_chunk[order]
+    ev_promote = ev_promote[order]
+    m = int(ev_ref.size)
+
+    span = np.int64(n + 1)
+    ev_keys = ev_chunk * span + ev_ref
+    ref_keys = chunks.astype(np.int64) * span + np.arange(n, dtype=np.int64)
+    epoch = np.searchsorted(np.sort(ev_keys), ref_keys, side="right").astype(
+        np.int64
+    )
+
+    # Each event's previous event reference on the same chunk (0 when
+    # none): events are time-ordered, so a stable chunk-major sort keeps
+    # per-chunk event order.
+    grp = np.argsort(ev_chunk, kind="stable")
+    prev_sorted = np.zeros(m, dtype=np.int64)
+    if m > 1:
+        same = ev_chunk[grp][1:] == ev_chunk[grp][:-1]
+        prev_sorted[1:][same] = ev_ref[grp][:-1][same]
+    prev_ref = np.zeros(m, dtype=np.int64)
+    prev_ref[grp] = prev_sorted
+
+    # References grouped chunk-major (ascending reference within chunk)
+    # let each ended epoch come out as one slice.
+    ref_order = np.argsort(chunks, kind="stable").astype(np.int64)
+    sorted_ref_keys = ref_keys[ref_order]
+    lo = np.searchsorted(sorted_ref_keys, ev_chunk * span + prev_ref, side="left")
+    hi = np.searchsorted(sorted_ref_keys, ev_chunk * span + ev_ref, side="left")
+    return _EventPlan(
+        ev_ref=ev_ref,
+        ev_chunk=ev_chunk,
+        ev_promote=ev_promote,
+        epoch=epoch,
+        _ref_order=ref_order,
+        _lo=lo,
+        _hi=hi,
+    )
+
+
+class _Tombstone(NamedTuple):
+    """One event deletion, positioned in the collapsed stream."""
+
+    idx: int  # family-wide tombstone index (event order)
+    l_pos: int  # collapsed position of the deleted key's last touch
+    e_pos: int  # first collapsed position at/after the event
+    e_ref: int  # the event's reference index
+
+
+def _dedupe_last(
+    sets_arr: np.ndarray,
+    keys_arr: np.ndarray,
+    refs_arr: np.ndarray,
+    key_stride: np.int64,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Unique (set, key) pairs keeping each pair's *last* reference."""
+    packed = sets_arr * key_stride + keys_arr
+    _, rev_index = np.unique(packed[::-1], return_index=True)
+    last = np.sort(refs_arr.size - 1 - rev_index)
+    return sets_arr[last], keys_arr[last], refs_arr[last]
+
+
+class _SetFamilyAnalysis:
+    """All-associativity analysis of one (set stream, key stream) family.
+
+    One instance serves every capacity requested for the family: the
+    collapsed stream, depth arrays and tombstone geometry are shared,
+    and only the final sparse scans are per capacity (memoized).
+    """
+
+    def __init__(
+        self,
+        keys: np.ndarray,
+        sets: np.ndarray,
+        refs: np.ndarray,
+        large: np.ndarray,
+        capacities: Iterable[int],
+    ) -> None:
+        caps = sorted({int(c) for c in capacities})
+        if not caps or caps[0] < 1:
+            raise ConfigurationError(
+                f"two-size kernel needs positive capacities, got {caps}"
+            )
+        self._caps = caps
+        max_cap = caps[-1]
+        n = int(keys.size)
+        self.total = n
+        self.num_ts = 0
+        self._seg_ts: Dict[int, List[_Tombstone]] = {}
+        self._delta_jobs: List[Tuple[int, List[Tuple[int, int]], int]] = []
+        self._query_jobs: List[Tuple[List[Tuple[int, int]], int, bool]] = []
+        self._counts_memo: Dict[int, Tuple[int, int, int]] = {}
+        self._residency_memo: Dict[int, np.ndarray] = {}
+        if n == 0:
+            self.cn = 0
+            self.run_hits = 0
+            self._cum = np.zeros(max_cap + 1, dtype=np.int64)
+            self._cum_large = np.zeros(max_cap + 1, dtype=np.int64)
+            self._large_cold = 0
+            self._large_live = 0
+            return
+
+        self.stride = np.int64(int(keys.max()) + 2)
+        combined = sets.astype(np.int64) * self.stride + keys
+        order = np.argsort(sets, kind="stable")
+        seq = combined[order]
+        keep = np.empty(n, dtype=bool)
+        keep[0] = True
+        np.not_equal(seq[1:], seq[:-1], out=keep[1:])
+        self.ckeys = seq[keep]
+        self.cref = refs[order][keep]
+        self.csets = sets[order][keep]
+        self.clarge = large[order][keep]
+        cn = int(self.ckeys.size)
+        self.cn = cn
+        self.run_hits = n - cn
+
+        cprev = previous_occurrences(self.ckeys)
+        nested = _count_greater_preceding(cprev)
+        pos = np.arange(cn, dtype=np.int64)
+        depth = pos - cprev - 1 - nested
+        depth[cprev < 0] = -1
+        self.cprev = cprev
+        self.depth = depth
+
+        live = depth >= 0
+        self._cum = np.cumsum(
+            np.bincount(np.minimum(depth[live], max_cap), minlength=max_cap + 1)
+        )
+        large_live = live & self.clarge
+        self._cum_large = np.cumsum(
+            np.bincount(
+                np.minimum(depth[large_live], max_cap), minlength=max_cap + 1
+            )
+        )
+        self._large_cold = int(np.count_nonzero(~live & self.clarge))
+        self._large_live = int(np.count_nonzero(large_live))
+
+        # Per-position segment (set) bounds; csets is non-decreasing.
+        new_seg = np.empty(cn, dtype=bool)
+        new_seg[0] = True
+        np.not_equal(self.csets[1:], self.csets[:-1], out=new_seg[1:])
+        seg_ids = np.cumsum(new_seg) - 1
+        starts = pos[new_seg]
+        self.seg_start = starts[seg_ids]
+        self.seg_end = np.append(starts[1:], cn)[seg_ids]
+
+    # -- capacity-independent precomputation ---------------------------
+
+    def _since_counts(self, seg_lo: int, p: int, upto: int) -> np.ndarray:
+        """Prefix counts of ``cprev <= p`` over ``[seg_lo, upto)``.
+
+        ``n_at(P, p)`` — distinct keys touched in positions ``(p, P)``
+        — is then ``counts[P - seg_lo - 1] - (p - seg_lo + 1)``: every
+        first-touch-since-``p`` has ``cprev <= p``, and the positions
+        up to ``p`` itself all trivially qualify.
+        """
+        return np.cumsum(self.cprev[seg_lo:upto] <= p)
+
+    def attach_tombstones(
+        self,
+        ts_set: np.ndarray,
+        ts_key: np.ndarray,
+        ts_lref: np.ndarray,
+        ts_eref: np.ndarray,
+    ) -> None:
+        """Register the event deletions (in event order) and precompute
+        every capacity-independent ingredient of the correction pass."""
+        count = int(ts_set.size)
+        self.num_ts = count
+        if count == 0:
+            return
+        if self.cn == 0:
+            raise SimulationError(
+                "two-size kernel internal error: tombstones without references"
+            )
+        combined = ts_set.astype(np.int64) * self.stride + ts_key
+        lo = np.searchsorted(self.csets, ts_set, side="left")
+        hi = np.searchsorted(self.csets, ts_set, side="right")
+        l_pos = np.empty(count, dtype=np.int64)
+        e_pos = np.empty(count, dtype=np.int64)
+        for i in range(count):
+            s, e = int(lo[i]), int(hi[i])
+            cref_seg = self.cref[s:e]
+            l_pos[i] = s + np.searchsorted(cref_seg, ts_lref[i], side="right") - 1
+            e_pos[i] = s + np.searchsorted(cref_seg, ts_eref[i], side="left")
+        if not np.array_equal(self.ckeys[l_pos], combined):
+            raise SimulationError(
+                "two-size kernel internal error: tombstone key mismatch"
+            )
+        for i in range(count):
+            ts = _Tombstone(i, int(l_pos[i]), int(e_pos[i]), int(ts_eref[i]))
+            self._seg_ts.setdefault(int(self.seg_start[ts.l_pos]), []).append(ts)
+        for seg_lo, seg in self._seg_ts.items():
+            self._attach_segment(seg_lo, seg)
+
+    def _attach_segment(self, seg_lo: int, seg: List[_Tombstone]) -> None:
+        seg_hi = int(self.seg_end[seg_lo])
+
+        # Residency (delta) jobs: one per tombstone, in event order.
+        # Stages are strictly-earlier events whose deleted key was
+        # touched after this key's last touch; simultaneous deletions
+        # cannot unseat each other, so equal e_ref is excluded.
+        for i, ts in enumerate(seg):
+            counts = self._since_counts(seg_lo, ts.l_pos, ts.e_pos)
+            offset = ts.l_pos - seg_lo + 1
+            stages = [
+                (int(counts[prior.e_pos - seg_lo - 1]) - offset, prior.idx)
+                for prior in seg[:i]
+                if prior.e_ref < ts.e_ref and prior.l_pos > ts.l_pos
+            ]
+            n_final = int(counts[ts.e_pos - seg_lo - 1]) - offset
+            self._delta_jobs.append((ts.idx, stages, n_final))
+
+        # Affected warm queries: previous touch before a deleted key's
+        # last touch, query at/after the deletion.  Cold queries need
+        # no correction (forced misses either way).
+        affected: set = set()
+        for ts in seg:
+            window = self.cprev[ts.e_pos : seg_hi]
+            hits = np.flatnonzero((window >= 0) & (window < ts.l_pos))
+            affected.update((hits + ts.e_pos).tolist())
+        if not affected:
+            return
+        q_arr = np.fromiter(sorted(affected), dtype=np.int64, count=len(affected))
+        # A correction can only flip a naive miss (depth >= C) into a
+        # hit freed by at most r deletions, and r is bounded by the
+        # tombstones whose key was touched after the query's previous
+        # touch — so some capacity must fall in (depth - r_up, depth].
+        ts_l_sorted = np.sort(
+            np.fromiter((t.l_pos for t in seg), dtype=np.int64, count=len(seg))
+        )
+        r_up = ts_l_sorted.size - np.searchsorted(
+            ts_l_sorted, self.cprev[q_arr], side="right"
+        )
+        depths = self.depth[q_arr]
+        keep = np.zeros(q_arr.size, dtype=bool)
+        for cap in self._caps:
+            keep |= (depths >= cap) & (depths - r_up < cap)
+        for q in q_arr[keep].tolist():
+            p = int(self.cprev[q])
+            stage_ts = [t for t in seg if t.l_pos > p and t.e_pos <= q]
+            if not stage_ts:
+                continue
+            counts = self._since_counts(seg_lo, p, stage_ts[-1].e_pos)
+            offset = p - seg_lo + 1
+            stages = [
+                (int(counts[t.e_pos - seg_lo - 1]) - offset, t.idx)
+                for t in stage_ts
+            ]
+            self._query_jobs.append(
+                (stages, int(self.depth[q]), bool(self.clarge[q]))
+            )
+
+    # -- per-capacity scans --------------------------------------------
+
+    @staticmethod
+    def _survives(
+        stages: List[Tuple[int, int]],
+        n_final: int,
+        capacity: int,
+        resident: np.ndarray,
+    ) -> bool:
+        """Apply the eviction rule: alive after every stage and the query."""
+        r = 0
+        for n_t, idx in stages:
+            if n_t - r >= capacity:
+                return False
+            if resident[idx]:
+                r += 1
+        return n_final - r < capacity
+
+    def _residency(self, capacity: int) -> np.ndarray:
+        cached = self._residency_memo.get(capacity)
+        if cached is None:
+            cached = np.zeros(self.num_ts, dtype=bool)
+            for idx, stages, n_final in self._delta_jobs:
+                cached[idx] = self._survives(stages, n_final, capacity, cached)
+            self._residency_memo[capacity] = cached
+        return cached
+
+    def counts(self, capacity: int) -> Tuple[int, int, int]:
+        """(misses, large_misses, invalidations) at ``capacity`` ways."""
+        capacity = int(capacity)
+        memo = self._counts_memo.get(capacity)
+        if memo is not None:
+            return memo
+        if capacity not in self._caps:
+            raise ConfigurationError(
+                f"capacity {capacity} was not requested for this family"
+            )
+        if self.cn == 0:
+            result = (0, 0, 0)
+        else:
+            resident = self._residency(capacity)
+            corrections = 0
+            corrections_large = 0
+            for stages, depth, is_large in self._query_jobs:
+                if depth < capacity:
+                    continue
+                if self._survives(stages, depth, capacity, resident):
+                    corrections += 1
+                    if is_large:
+                        corrections_large += 1
+            hits_below = int(self._cum[capacity - 1])
+            misses = self.total - self.run_hits - hits_below - corrections
+            large_misses = (
+                self._large_cold
+                + (self._large_live - int(self._cum_large[capacity - 1]))
+                - corrections_large
+            )
+            result = (misses, large_misses, int(resident.sum()))
+        self._counts_memo[capacity] = result
+        return result
+
+    def occupancy(self, capacity: int) -> int:
+        """Entries resident at the end of the trace, at ``capacity`` ways."""
+        capacity = int(capacity)
+        if self.cn == 0:
+            return 0
+        resident = self._residency(capacity)
+        has_next = np.zeros(self.cn, dtype=bool)
+        has_next[self.cprev[self.cprev >= 0]] = True
+        dead = np.zeros(self.cn, dtype=bool)
+        for seg in self._seg_ts.values():
+            for ts in seg:
+                dead[ts.l_pos] = True
+        cand = np.flatnonzero(~has_next & ~dead)
+        cand_seg = self.seg_start[cand]
+        total = 0
+        for seg_lo in np.unique(cand_seg).tolist():
+            positions = cand[cand_seg == seg_lo]
+            seg_hi = int(self.seg_end[seg_lo])
+            sorted_cprev = np.sort(self.cprev[seg_lo:seg_hi])
+            n_end = np.searchsorted(sorted_cprev, positions, side="right") - (
+                positions - seg_lo + 1
+            )
+            seg = self._seg_ts.get(int(seg_lo), [])
+            if not seg:
+                total += int(np.count_nonzero(n_end < capacity))
+                continue
+            max_l = max(ts.l_pos for ts in seg)
+            easy = positions >= max_l
+            total += int(np.count_nonzero(n_end[easy] < capacity))
+            for p, n_final in zip(
+                positions[~easy].tolist(), n_end[~easy].tolist()
+            ):
+                stage_ts = [t for t in seg if t.l_pos > p]
+                counts = self._since_counts(seg_lo, p, stage_ts[-1].e_pos)
+                offset = p - seg_lo + 1
+                stages = [
+                    (int(counts[t.e_pos - seg_lo - 1]) - offset, t.idx)
+                    for t in stage_ts
+                ]
+                if self._survives(stages, int(n_final), capacity, resident):
+                    total += 1
+        return total
+
+
+# -- unified (single-structure) organisations --------------------------
+
+
+def _family_of(config: TLBConfig) -> Tuple[Tuple[str, int], int]:
+    """((family kind, set count), capacity) for one configuration."""
+    if config.fully_associative:
+        return (_FA_FAMILY, 1), config.entries
+    return (
+        (config.scheme.value, config.entries // config.associativity),
+        config.associativity,
+    )
+
+
+def _unified_set_stream(
+    kind: str,
+    num_sets: int,
+    blocks: np.ndarray,
+    chunks: np.ndarray,
+    page: np.ndarray,
+) -> np.ndarray:
+    if kind == _FA_FAMILY:
+        return np.zeros(blocks.size, dtype=np.int64)
+    mask = np.int64(num_sets - 1)
+    if kind == IndexingScheme.SMALL_INDEX.value:
+        return blocks & mask
+    if kind == IndexingScheme.LARGE_INDEX.value:
+        return chunks & mask
+    return page & mask
+
+
+def _unified_tombstones(
+    plan: _EventPlan,
+    blocks: np.ndarray,
+    kind: str,
+    num_sets: int,
+    span: np.int64,
+    key_stride: np.int64,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Event deletions for one unified family, in event order.
+
+    A promotion deletes the ended small epoch's distinct (set, block)
+    pairs; a demotion deletes the large page's copy from every set it
+    was touched in during the ended large epoch (more than one only
+    under SMALL_INDEX).  A zero-length ended epoch deletes nothing —
+    nothing of it was ever inserted, and earlier same-parity entries
+    were already shot down by the previous event of the other kind.
+    """
+    mask = np.int64(num_sets - 1)
+    sets_out: List[np.ndarray] = []
+    keys_out: List[np.ndarray] = []
+    lref_out: List[np.ndarray] = []
+    eref_out: List[np.ndarray] = []
+    for j in range(plan.num_events):
+        refs = plan.ended_refs(j)
+        if refs.size == 0:
+            continue
+        chunk = int(plan.ev_chunk[j])
+        tags = plan.epoch[refs]
+        if plan.ev_promote[j]:
+            raw = blocks[refs] << np.int64(1)
+            if kind == _FA_FAMILY:
+                sets_arr = np.zeros(refs.size, dtype=np.int64)
+            elif kind == IndexingScheme.LARGE_INDEX.value:
+                sets_arr = np.full(refs.size, chunk & int(mask), dtype=np.int64)
+            else:  # SMALL_INDEX and EXACT_INDEX index small pages by block
+                sets_arr = blocks[refs] & mask
+        else:
+            raw = np.full(
+                refs.size, (chunk << 1) | 1, dtype=np.int64
+            )
+            if kind == _FA_FAMILY:
+                sets_arr = np.zeros(refs.size, dtype=np.int64)
+            elif kind == IndexingScheme.SMALL_INDEX.value:
+                sets_arr = blocks[refs] & mask
+            else:  # LARGE_INDEX and EXACT_INDEX index large pages by chunk
+                sets_arr = np.full(refs.size, chunk & int(mask), dtype=np.int64)
+        keys_arr = raw * span + tags
+        u_sets, u_keys, u_lref = _dedupe_last(sets_arr, keys_arr, refs, key_stride)
+        sets_out.append(u_sets)
+        keys_out.append(u_keys)
+        lref_out.append(u_lref)
+        eref_out.append(np.full(u_sets.size, plan.ev_ref[j], dtype=np.int64))
+    if not sets_out:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, empty
+    return (
+        np.concatenate(sets_out),
+        np.concatenate(keys_out),
+        np.concatenate(lref_out),
+        np.concatenate(eref_out),
+    )
+
+
+def _require_lru(configs: Iterable[TLBConfig]) -> None:
+    for config in configs:
+        if config.replacement != "lru":
+            raise ConfigurationError(
+                "the two-size vector kernel supports LRU replacement only; "
+                f"got {config.replacement!r} (use kernel='scalar' or 'auto')"
+            )
+
+
+def two_size_counts(
+    blocks: np.ndarray,
+    blocks_shift: int,
+    decisions: PolicyDecisions,
+    configs: Sequence[TLBConfig],
+) -> List[TwoSizeCounts]:
+    """Evaluate every configuration from one epoch-segmented pass.
+
+    ``blocks`` is the small-page-number stream, ``blocks_shift`` the
+    log2 blocks-per-chunk, ``decisions`` the precomputed policy stream.
+    Configurations sharing a (set-selection rule, set count) family
+    share one collapsed stream and one depth computation; each entry
+    count x associativity is then a histogram read plus the sparse
+    correction scan.  Results are bit-identical to the scalar TLBs.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    _require_lru(configs)
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = int(blocks.size)
+    if int(decisions.large.size) != n:
+        raise ConfigurationError(
+            f"decision stream covers {decisions.large.size} references, "
+            f"trace has {n}"
+        )
+    chunks = blocks >> np.int64(blocks_shift)
+    large = np.asarray(decisions.large, dtype=bool)
+    plan = _event_plan(chunks, decisions)
+    span = np.int64(plan.num_events + 1)
+    page = np.where(large, chunks, blocks)
+    keys = ((page << np.int64(1)) | large.astype(np.int64)) * span + plan.epoch
+    key_stride = np.int64((int(keys.max()) if n else 0) + 2)
+    large_total = int(np.count_nonzero(large))
+    refs = np.arange(n, dtype=np.int64)
+
+    family_caps: Dict[Tuple[str, int], set] = {}
+    for config in configs:
+        fam_key, capacity = _family_of(config)
+        family_caps.setdefault(fam_key, set()).add(capacity)
+
+    families: Dict[Tuple[str, int], _SetFamilyAnalysis] = {}
+    for fam_key, caps in family_caps.items():
+        kind, num_sets = fam_key
+        sets_arr = _unified_set_stream(kind, num_sets, blocks, chunks, page)
+        family = _SetFamilyAnalysis(keys, sets_arr, refs, large, caps)
+        family.attach_tombstones(
+            *_unified_tombstones(plan, blocks, kind, num_sets, span, key_stride)
+        )
+        families[fam_key] = family
+
+    results: List[TwoSizeCounts] = []
+    for config in configs:
+        fam_key, capacity = _family_of(config)
+        misses, large_misses, invalidations = families[fam_key].counts(capacity)
+        if (
+            not config.fully_associative
+            and config.scheme is IndexingScheme.EXACT_INDEX
+            and config.probe_strategy is ProbeStrategy.SEQUENTIAL
+        ):
+            # Sequential EXACT_INDEX reprobes whenever the small-page
+            # probe misses: on every large-page reference (a promotion
+            # shot down the chunk's small pages, so the small probe
+            # cannot hit) and on every small-page full miss.
+            reprobes = large_total + (misses - large_misses)
+        else:
+            reprobes = 0
+        results.append(
+            TwoSizeCounts(
+                misses=misses,
+                large_misses=large_misses,
+                reprobes=reprobes,
+                invalidations=invalidations,
+            )
+        )
+    return results
+
+
+# -- the split organisation --------------------------------------------
+
+
+def _component_counts(
+    pages: np.ndarray,
+    refs: np.ndarray,
+    config: TLBConfig,
+    plan: _EventPlan,
+    blocks: np.ndarray,
+    span: np.int64,
+    want_promote: bool,
+) -> Tuple[int, int, int]:
+    """(misses, invalidations, end occupancy) of one split component.
+
+    A component only ever sees one page size, so it behaves as a plain
+    single-size TLB over its sub-stream regardless of its configured
+    indexing scheme: block and chunk coincide, both candidate sets are
+    the same set.  Promotions shoot small pages out of the small
+    component, demotions shoot the large page out of the large one.
+    """
+    keys = pages * span + plan.epoch[refs]
+    if config.fully_associative:
+        capacity = config.entries
+        num_sets = 1
+        sets_arr = np.zeros(pages.size, dtype=np.int64)
+    else:
+        capacity = config.associativity
+        num_sets = config.entries // config.associativity
+        sets_arr = pages & np.int64(num_sets - 1)
+    key_stride = np.int64((int(keys.max()) if keys.size else 0) + 2)
+    family = _SetFamilyAnalysis(
+        keys, sets_arr, refs, np.zeros(pages.size, dtype=bool), [capacity]
+    )
+
+    mask = np.int64(num_sets - 1)
+    sets_out: List[np.ndarray] = []
+    keys_out: List[np.ndarray] = []
+    lref_out: List[np.ndarray] = []
+    eref_out: List[np.ndarray] = []
+    for j in range(plan.num_events):
+        if bool(plan.ev_promote[j]) != want_promote:
+            continue
+        ended = plan.ended_refs(j)
+        if ended.size == 0:
+            continue
+        if want_promote:
+            ended_pages = blocks[ended]
+        else:
+            ended_pages = np.full(
+                ended.size, int(plan.ev_chunk[j]), dtype=np.int64
+            )
+        keys_arr = ended_pages * span + plan.epoch[ended]
+        sets_arr_ts = (
+            np.zeros(ended.size, dtype=np.int64)
+            if config.fully_associative
+            else ended_pages & mask
+        )
+        u_sets, u_keys, u_lref = _dedupe_last(
+            sets_arr_ts, keys_arr, ended, key_stride
+        )
+        sets_out.append(u_sets)
+        keys_out.append(u_keys)
+        lref_out.append(u_lref)
+        eref_out.append(np.full(u_sets.size, plan.ev_ref[j], dtype=np.int64))
+    if sets_out:
+        family.attach_tombstones(
+            np.concatenate(sets_out),
+            np.concatenate(keys_out),
+            np.concatenate(lref_out),
+            np.concatenate(eref_out),
+        )
+    misses, _, invalidations = family.counts(capacity)
+    return misses, invalidations, family.occupancy(capacity)
+
+
+def split_two_size_counts(
+    blocks: np.ndarray,
+    blocks_shift: int,
+    decisions: PolicyDecisions,
+    small_config: TLBConfig,
+    large_config: TLBConfig,
+) -> SplitCounts:
+    """Exact counters of a :class:`~repro.tlb.split.SplitTLB` pass.
+
+    The split organisation routes each reference to the component for
+    its assigned size, so the kernel is two independent single-size
+    analyses over the small/large sub-streams — promotions invalidate
+    in the small component, demotions in the large one — sharing the
+    unified kernel's epoch tags (exact per component: a component's
+    references only occur in its own parity of epochs).
+    """
+    _require_lru((small_config, large_config))
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = int(blocks.size)
+    if int(decisions.large.size) != n:
+        raise ConfigurationError(
+            f"decision stream covers {decisions.large.size} references, "
+            f"trace has {n}"
+        )
+    chunks = blocks >> np.int64(blocks_shift)
+    large = np.asarray(decisions.large, dtype=bool)
+    plan = _event_plan(chunks, decisions)
+    span = np.int64(plan.num_events + 1)
+
+    small_refs = np.flatnonzero(~large)
+    small_misses, small_inv, small_occ = _component_counts(
+        blocks[small_refs],
+        small_refs,
+        small_config,
+        plan,
+        blocks,
+        span,
+        want_promote=True,
+    )
+    large_refs = np.flatnonzero(large)
+    large_misses, large_inv, large_occ = _component_counts(
+        chunks[large_refs],
+        large_refs,
+        large_config,
+        plan,
+        blocks,
+        span,
+        want_promote=False,
+    )
+    return SplitCounts(
+        misses=small_misses + large_misses,
+        large_misses=large_misses,
+        invalidations=small_inv + large_inv,
+        small_occupancy=small_occ,
+        large_occupancy=large_occ,
+    )

@@ -11,7 +11,13 @@ Two entry points:
   simulation.  Page-size decisions are TLB-independent, so one policy
   instance drives any number of TLB models in a single trace pass (the
   same many-configurations-per-pass economics as the paper's ``tycho``),
-  with promotion/demotion shootdowns applied to every TLB.
+  with promotion/demotion shootdowns applied to every TLB.  The vector
+  path hands the whole pass to :mod:`repro.perf.twosize`, which
+  evaluates *all* requested geometries from shared epoch-segmented
+  depth arrays.
+* :func:`run_split_two_sizes` — the split per-size organisation
+  (Section 2.2 option c) as one composite result, with end-of-trace
+  component occupancies for the utilisation ablation.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ from repro.perf.kernels import (
     resolve_kernel,
     stack_depths,
 )
+from repro.perf.twosize import split_two_size_counts, two_size_counts
 from repro.policy.promotion import (
     DynamicPromotionPolicy,
     PageSizeAssignmentPolicy,
@@ -46,6 +53,7 @@ from repro.policy.promotion import (
 from repro.policy.vector import policy_decisions, supports_vector_decisions
 from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
 from repro.tlb.indexing import IndexingScheme, ProbeStrategy
+from repro.tlb.split import SplitTLB
 from repro.trace.record import Trace
 from repro.types import log2_exact
 
@@ -179,6 +187,9 @@ def run_single_size(
     stored after; see :mod:`repro.parallel.cache`.
     """
     faultinject.check("sim.driver.run_single_size")
+    resolved = resolve_kernel(
+        kernel, vector_supported=config.replacement == "lru"
+    )
     key: Optional[str] = None
     if cache is not None:
         key = canonical_key(
@@ -189,14 +200,14 @@ def run_single_size(
                 "page_size": scheme.page_size,
                 "config": config.cache_parts(),
                 "base_penalty": base_penalty,
-                "kernel": kernel,
+                "kernel": resolved,
             }
         )
         payload = cache.get(key)
         if payload is not None:
             return RunResult.from_payload(payload)
     result = _run_single_size_uncached(
-        trace, scheme, config, base_penalty=base_penalty, kernel=kernel
+        trace, scheme, config, base_penalty=base_penalty, kernel=resolved
     )
     if cache is not None:
         cache.put(key, result.to_payload())
@@ -211,8 +222,10 @@ def _run_single_size_uncached(
     base_penalty: float,
     kernel: str,
 ) -> RunResult:
-    vector_ok = config.replacement == "lru"
-    if resolve_kernel(kernel, vector_supported=vector_ok) == KERNEL_VECTOR:
+    # ``kernel`` arrives already resolved ("scalar" or "vector"); the
+    # resolved identity is also what the cache key records, so "auto"
+    # and an explicit request share entries.
+    if kernel == KERNEL_VECTOR:
         pages = np.asarray(
             trace.addresses >> np.uint32(log2_exact(scheme.page_size)),
             dtype=np.int64,
@@ -301,6 +314,7 @@ def run_with_policy(
     if not configs:
         raise ConfigurationError("run_with_policy needs at least one TLBConfig")
     faultinject.check("sim.driver.run_with_policy")
+    resolved = _resolve_two_size_kernel(policy, configs, kernel)
     keys: Optional[List[str]] = None
     if cache is not None:
         token = policy.cache_token()
@@ -315,7 +329,7 @@ def run_with_policy(
                         "config": config.cache_parts(),
                         "base_penalty": base_penalty,
                         "penalty_factor": penalty_factor,
-                        "kernel": kernel,
+                        "kernel": resolved,
                     }
                 )
                 for config in configs
@@ -329,12 +343,31 @@ def run_with_policy(
         configs,
         base_penalty=base_penalty,
         penalty_factor=penalty_factor,
-        kernel=kernel,
+        kernel=resolved,
     )
     if keys is not None:
         for key, result in zip(keys, results):
             cache.put(key, result.to_payload())
     return results
+
+
+def _resolve_two_size_kernel(
+    policy: PageSizeAssignmentPolicy,
+    configs: Sequence[TLBConfig],
+    kernel: str,
+) -> str:
+    """Resolve the kernel switch for a policy-driven two-size pass.
+
+    The vector kernel needs both a replayable policy decision stream
+    (``supports_vector_decisions``) and LRU replacement in every
+    configuration — the epoch-segmented stack identity does not hold
+    for history-dependent replacement.  ``"auto"`` falls back to the
+    scalar oracle otherwise; an explicit ``"vector"`` raises.
+    """
+    vector_ok = supports_vector_decisions(policy) and all(
+        config.replacement == "lru" for config in configs
+    )
+    return resolve_kernel(kernel, vector_supported=vector_ok)
 
 
 def _run_with_policy_uncached(
@@ -346,71 +379,61 @@ def _run_with_policy_uncached(
     penalty_factor: float,
     kernel: str,
 ) -> List[RunResult]:
-    tlbs = [config.build() for config in configs]
     pair = policy.pair
     blocks_shift = log2_exact(pair.blocks_per_chunk)
     block_array = trace.addresses >> np.uint32(pair.small_shift)
+    penalty = base_penalty * penalty_factor
+
+    # ``kernel`` arrives resolved (see ``_resolve_two_size_kernel``).
+    if kernel == KERNEL_VECTOR:
+        decisions = policy_decisions(policy, block_array)
+        counts = two_size_counts(
+            np.asarray(block_array, dtype=np.int64),
+            blocks_shift,
+            decisions,
+            configs,
+        )
+        return [
+            RunResult(
+                trace_name=trace.name,
+                scheme_label=str(pair),
+                config=config,
+                references=len(trace),
+                misses=result.misses,
+                large_misses=result.large_misses,
+                reprobes=result.reprobes,
+                invalidations=result.invalidations,
+                promotions=decisions.promotions,
+                demotions=decisions.demotions,
+                refs_per_instruction=trace.refs_per_instruction,
+                miss_penalty_cycles=penalty,
+            )
+            for config, result in zip(configs, counts)
+        ]
+
+    # Scalar oracle: stateful TLB objects walked per reference.
+    tlbs = [config.build() for config in configs]
     blocks = block_array.tolist()
     blocks_per_chunk = pair.blocks_per_chunk
-
-    vector_ok = supports_vector_decisions(policy)
-    if resolve_kernel(kernel, vector_supported=vector_ok) == KERNEL_VECTOR:
-        decisions = policy_decisions(policy, block_array)
-        large_flags = decisions.large.tolist()
-        event_refs = np.nonzero(
-            (decisions.promoted >= 0) | (decisions.demoted >= 0)
-        )[0]
-        events = [
-            (
-                int(ref),
-                int(decisions.promoted[ref]),
-                int(decisions.demoted[ref]),
-            )
-            for ref in event_refs
-        ]
-        events.append((-1, -1, -1))  # sentinel: no further events
-        next_event = 0
-        event_ref = events[0][0]
-        for index, block in enumerate(blocks):
-            if index == event_ref:
-                _, promoted, demoted = events[next_event]
-                for tlb in tlbs:
-                    if demoted >= 0:
-                        tlb.invalidate_large_page(demoted)
-                    if promoted >= 0:
-                        tlb.invalidate_small_pages_of_chunk(
-                            promoted, blocks_per_chunk
-                        )
-                next_event += 1
-                event_ref = events[next_event][0]
-            chunk = block >> blocks_shift
-            large = large_flags[index]
+    decide = policy.access_block
+    for block in blocks:
+        decision = decide(block)
+        promoted = decision.promoted_chunk
+        demoted = decision.demoted_chunk
+        if promoted is not None or demoted is not None:
             for tlb in tlbs:
-                tlb.access(block, chunk, large)
-        promotions = decisions.promotions
-        demotions = decisions.demotions
-    else:
-        decide = policy.access_block
-        for block in blocks:
-            decision = decide(block)
-            promoted = decision.promoted_chunk
-            demoted = decision.demoted_chunk
-            if promoted is not None or demoted is not None:
-                for tlb in tlbs:
-                    if demoted is not None:
-                        tlb.invalidate_large_page(demoted)
-                    if promoted is not None:
-                        tlb.invalidate_small_pages_of_chunk(
-                            promoted, blocks_per_chunk
-                        )
-            chunk = block >> blocks_shift
-            large = decision.large
-            for tlb in tlbs:
-                tlb.access(block, chunk, large)
-        promotions = getattr(policy, "promotions", 0)
-        demotions = getattr(policy, "demotions", 0)
-
-    penalty = base_penalty * penalty_factor
+                if demoted is not None:
+                    tlb.invalidate_large_page(demoted)
+                if promoted is not None:
+                    tlb.invalidate_small_pages_of_chunk(
+                        promoted, blocks_per_chunk
+                    )
+        chunk = block >> blocks_shift
+        large = decision.large
+        for tlb in tlbs:
+            tlb.access(block, chunk, large)
+    promotions = getattr(policy, "promotions", 0)
+    demotions = getattr(policy, "demotions", 0)
     return [
         RunResult(
             trace_name=trace.name,
@@ -462,4 +485,228 @@ def run_two_sizes(
         penalty_factor=penalty_factor,
         kernel=kernel,
         cache=cache,
+    )
+
+
+@dataclass(frozen=True)
+class SplitRunResult:
+    """Outcome of simulating a split (per-size) TLB pair over one trace.
+
+    Composite counters mirror :class:`~repro.tlb.split.SplitTLB`'s
+    stats (the split organisation never reprobes — each component
+    resolves in one probe); the occupancy fields record how many
+    component entries were still resident when the trace ended, which
+    the utilisation ablation reads.
+    """
+
+    trace_name: str
+    scheme_label: str
+    small_config: TLBConfig
+    large_config: TLBConfig
+    references: int
+    misses: int
+    large_misses: int
+    invalidations: int
+    promotions: int
+    demotions: int
+    small_occupancy: int
+    large_occupancy: int
+    refs_per_instruction: float
+    miss_penalty_cycles: float
+
+    @property
+    def performance(self) -> TLBPerformance:
+        """This run's metrics in the paper's units."""
+        return TLBPerformance(
+            misses=self.misses,
+            references=self.references,
+            refs_per_instruction=self.refs_per_instruction,
+            miss_penalty_cycles=self.miss_penalty_cycles,
+        )
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form, for the result cache."""
+        return {
+            "trace_name": self.trace_name,
+            "scheme_label": self.scheme_label,
+            "small_config": self.small_config.cache_parts(),
+            "large_config": self.large_config.cache_parts(),
+            "references": int(self.references),
+            "misses": int(self.misses),
+            "large_misses": int(self.large_misses),
+            "invalidations": int(self.invalidations),
+            "promotions": int(self.promotions),
+            "demotions": int(self.demotions),
+            "small_occupancy": int(self.small_occupancy),
+            "large_occupancy": int(self.large_occupancy),
+            "refs_per_instruction": float(self.refs_per_instruction),
+            "miss_penalty_cycles": float(self.miss_penalty_cycles),
+        }
+
+    @classmethod
+    def from_payload(
+        cls,
+        payload: Dict[str, Any],
+        small_config: TLBConfig,
+        large_config: TLBConfig,
+    ) -> "SplitRunResult":
+        """Rebuild a result stored by :meth:`to_payload`."""
+        return cls(
+            trace_name=payload["trace_name"],
+            scheme_label=payload["scheme_label"],
+            small_config=small_config,
+            large_config=large_config,
+            references=int(payload["references"]),
+            misses=int(payload["misses"]),
+            large_misses=int(payload["large_misses"]),
+            invalidations=int(payload["invalidations"]),
+            promotions=int(payload["promotions"]),
+            demotions=int(payload["demotions"]),
+            small_occupancy=int(payload["small_occupancy"]),
+            large_occupancy=int(payload["large_occupancy"]),
+            refs_per_instruction=float(payload["refs_per_instruction"]),
+            miss_penalty_cycles=float(payload["miss_penalty_cycles"]),
+        )
+
+
+def run_split_two_sizes(
+    trace: Trace,
+    scheme: TwoSizeScheme,
+    small_config: TLBConfig,
+    large_config: TLBConfig,
+    *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    policy: Optional[PageSizeAssignmentPolicy] = None,
+    kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
+) -> SplitRunResult:
+    """Simulate the split per-size organisation (Section 2.2 option c).
+
+    One TLB holds only small pages, the other only large pages; the
+    policy routes each reference to its component, promotions shoot
+    small pages out of the small TLB and demotions shoot the large
+    page out of the large TLB.  The scalar oracle walks a
+    :class:`~repro.tlb.split.SplitTLB`; the vector kernel runs the two
+    components as independent epoch-segmented single-size analyses
+    (:func:`repro.perf.twosize.split_two_size_counts`).  Both report
+    the composite stats and the end-of-trace component occupancies.
+    """
+    faultinject.check("sim.driver.run_split_two_sizes")
+    if policy is None:
+        policy = DynamicPromotionPolicy(
+            scheme.pair,
+            scheme.window,
+            promote_fraction=scheme.promote_fraction,
+            demote_fraction=scheme.demote_fraction,
+        )
+    resolved = _resolve_two_size_kernel(
+        policy, (small_config, large_config), kernel
+    )
+    key: Optional[str] = None
+    if cache is not None:
+        token = policy.cache_token()
+        if token is not None:
+            key = canonical_key(
+                {
+                    "version": CACHE_KEY_VERSION,
+                    "kind": "split",
+                    "trace": trace.fingerprint,
+                    "policy": token,
+                    "small_config": small_config.cache_parts(),
+                    "large_config": large_config.cache_parts(),
+                    "base_penalty": base_penalty,
+                    "penalty_factor": penalty_factor,
+                    "kernel": resolved,
+                }
+            )
+            payload = cache.get(key)
+            if payload is not None:
+                return SplitRunResult.from_payload(
+                    payload, small_config, large_config
+                )
+    result = _run_split_two_sizes_uncached(
+        trace,
+        policy,
+        small_config,
+        large_config,
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+        kernel=resolved,
+    )
+    if key is not None:
+        cache.put(key, result.to_payload())
+    return result
+
+
+def _run_split_two_sizes_uncached(
+    trace: Trace,
+    policy: PageSizeAssignmentPolicy,
+    small_config: TLBConfig,
+    large_config: TLBConfig,
+    *,
+    base_penalty: float,
+    penalty_factor: float,
+    kernel: str,
+) -> SplitRunResult:
+    pair = policy.pair
+    blocks_shift = log2_exact(pair.blocks_per_chunk)
+    block_array = trace.addresses >> np.uint32(pair.small_shift)
+    penalty = base_penalty * penalty_factor
+    scheme_label = f"{pair} split"
+
+    if kernel == KERNEL_VECTOR:
+        decisions = policy_decisions(policy, block_array)
+        counts = split_two_size_counts(
+            np.asarray(block_array, dtype=np.int64),
+            blocks_shift,
+            decisions,
+            small_config,
+            large_config,
+        )
+        return SplitRunResult(
+            trace_name=trace.name,
+            scheme_label=scheme_label,
+            small_config=small_config,
+            large_config=large_config,
+            references=len(trace),
+            misses=counts.misses,
+            large_misses=counts.large_misses,
+            invalidations=counts.invalidations,
+            promotions=decisions.promotions,
+            demotions=decisions.demotions,
+            small_occupancy=counts.small_occupancy,
+            large_occupancy=counts.large_occupancy,
+            refs_per_instruction=trace.refs_per_instruction,
+            miss_penalty_cycles=penalty,
+        )
+
+    # Scalar oracle: a stateful SplitTLB walked per reference.
+    split = SplitTLB(small_config.build(), large_config.build())
+    blocks_per_chunk = pair.blocks_per_chunk
+    decide = policy.access_block
+    for block in block_array.tolist():
+        decision = decide(block)
+        if decision.demoted_chunk is not None:
+            split.invalidate_large_page(decision.demoted_chunk)
+        if decision.promoted_chunk is not None:
+            split.invalidate_small_pages_of_chunk(
+                decision.promoted_chunk, blocks_per_chunk
+            )
+        split.access(block, block >> blocks_shift, decision.large)
+    return SplitRunResult(
+        trace_name=trace.name,
+        scheme_label=scheme_label,
+        small_config=small_config,
+        large_config=large_config,
+        references=len(trace),
+        misses=split.stats.misses,
+        large_misses=split.stats.large_misses,
+        invalidations=split.stats.invalidations,
+        promotions=getattr(policy, "promotions", 0),
+        demotions=getattr(policy, "demotions", 0),
+        small_occupancy=split.small_tlb.occupancy(),
+        large_occupancy=split.large_tlb.occupancy(),
+        refs_per_instruction=trace.refs_per_instruction,
+        miss_penalty_cycles=penalty,
     )
