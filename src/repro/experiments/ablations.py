@@ -473,14 +473,15 @@ class MultiprogrammingAblation:
     """Solo vs mixed CPI on the 16-entry FA TLB, per context policy.
 
     ``mixed_cpi[(policy_name, quantum)]`` covers the flush-on-switch and
-    ASID-tagged designs at each swept scheduling quantum, plus a
-    disjoint-address-space mix (the :func:`round_robin_mix` model) as a
-    reference point.
+    ASID-tagged designs at each swept scheduling quantum, and
+    ``disjoint_cpi[quantum]`` a disjoint-address-space mix (the
+    :func:`round_robin_mix` model) at the *same* quanta, so every row of
+    the table compares like-for-like.
     """
 
     solo_cpi: Dict[str, float]
     mixed_cpi: Dict[Tuple[str, int], float]
-    disjoint_cpi: float
+    disjoint_cpi: Dict[int, float]
     quanta: Tuple[int, ...]
     programs: Tuple[str, ...]
     scale: ExperimentScale
@@ -503,7 +504,11 @@ class MultiprogrammingAblation:
                     self.mixed_cpi[(policy, quantum)],
                 )
         table.add_rule()
-        table.add_row("mix, disjoint address spaces", self.disjoint_cpi)
+        for quantum in self.quanta:
+            table.add_row(
+                f"mix, disjoint address spaces, quantum={quantum}",
+                self.disjoint_cpi[quantum],
+            )
         return table.render()
 
 
@@ -512,8 +517,15 @@ def run_multiprogramming_ablation(
     programs: Sequence[str] = ABLATION_WORKLOADS,
     quanta: Sequence[int] = (5_000, 20_000),
 ) -> MultiprogrammingAblation:
-    """The experiment the paper could not run: mixed-program TLB pressure."""
-    from repro.sim.multiprog import run_multiprogrammed
+    """The experiment the paper could not run: mixed-program TLB pressure.
+
+    The flush/ASID grid is one :func:`sweep_multiprogrammed` call: each
+    quantum's interleaving is built once and serves both policies from
+    one epoch-segmented kernel pass apiece, with per-cell results cached
+    under the ``"multiprog"`` kind and cells fanned out over
+    ``scale.jobs`` workers.
+    """
+    from repro.sim.multiprog import sweep_multiprogrammed
     from repro.tlb.context import ContextSwitchPolicy
 
     if scale is None:
@@ -529,18 +541,25 @@ def run_multiprogramming_ablation(
             trace, SingleSizeScheme(PAGE_4KB), config, cache=cache
         ).cpi_tlb
 
-    mixed: Dict[Tuple[str, int], float] = {}
-    for quantum in quanta:
-        for policy in (ContextSwitchPolicy.FLUSH, ContextSwitchPolicy.ASID):
-            result = run_multiprogrammed(
-                traces, config, quantum=quantum, switch_policy=policy
-            )
-            mixed[(policy.value, quantum)] = result.cpi_tlb
+    grid = sweep_multiprogrammed(
+        traces,
+        (config,),
+        quanta=quanta,
+        policies=(ContextSwitchPolicy.FLUSH, ContextSwitchPolicy.ASID),
+        cache=cache,
+        jobs=scale.jobs,
+    )
+    mixed: Dict[Tuple[str, int], float] = {
+        (policy, quantum): result.cpi_tlb
+        for (policy, quantum, _label), result in grid.items()
+    }
 
-    disjoint = round_robin_mix(traces, quantum=quanta[-1])
-    disjoint_cpi = run_single_size(
-        disjoint, SingleSizeScheme(PAGE_4KB), config, cache=cache
-    ).cpi_tlb
+    disjoint_cpi: Dict[int, float] = {}
+    for quantum in quanta:
+        disjoint = round_robin_mix(traces, quantum=quantum)
+        disjoint_cpi[quantum] = run_single_size(
+            disjoint, SingleSizeScheme(PAGE_4KB), config, cache=cache
+        ).cpi_tlb
     return MultiprogrammingAblation(
         solo, mixed, disjoint_cpi, tuple(quanta), tuple(programs), scale
     )

@@ -37,8 +37,11 @@ from repro.errors import CacheError
 CACHE_SCHEMA = "repro-cache/1"
 #: Simulation-semantics counter folded into every key.  ``2``: keys now
 #: store the *resolved* kernel ("scalar"/"vector", never "auto") and the
-#: two-size vector path moved to the epoch-segmented kernel.
-CACHE_KEY_VERSION = 2
+#: two-size vector path moved to the epoch-segmented kernel.  ``3``: the
+#: multiprogrammed path gained the ``"multiprog"`` kind (grid cells and
+#: single runs share entries) and its mixes are built by the vectorized
+#: round-robin mixer.
+CACHE_KEY_VERSION = 3
 
 
 def canonical_key(parts: Mapping[str, Any]) -> str:

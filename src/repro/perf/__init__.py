@@ -11,6 +11,11 @@ by per-reference inner loops.  This package supplies:
 * :mod:`repro.perf.twosize` — the epoch-segmented all-geometry kernel
   for two-page-size simulation (``run_with_policy``/``run_two_sizes``
   and ``SplitTLB``), exact against the scalar TLB models;
+* :mod:`repro.perf.multiprog` — the multiprogrammed variant: context
+  switches as universal epoch boundaries (FLUSH) or a context-prefix
+  key fold (ASID), driving ``run_multiprogrammed`` and
+  ``sweep_multiprogrammed``, exact against the scalar
+  ``MultiprogrammedTLB`` oracle;
 * :mod:`repro.perf.bench` — the ``repro-bench`` console entry point,
   which times a pinned suite and writes machine-readable
   ``BENCH_<rev>.json`` reports;
@@ -30,6 +35,11 @@ from repro.perf.kernels import (
     stack_depths,
     window_events,
 )
+from repro.perf.multiprog import (
+    MultiprogCounts,
+    count_switches,
+    multiprog_counts,
+)
 from repro.perf.twosize import (
     SplitCounts,
     TwoSizeCounts,
@@ -41,8 +51,11 @@ __all__ = [
     "KERNEL_AUTO",
     "KERNEL_SCALAR",
     "KERNEL_VECTOR",
+    "MultiprogCounts",
     "SplitCounts",
     "TwoSizeCounts",
+    "count_switches",
+    "multiprog_counts",
     "previous_occurrences",
     "resolve_kernel",
     "split_two_size_counts",

@@ -40,8 +40,10 @@ from repro.errors import BenchmarkError
 #: cold/warm) alongside the kernel units, and per-unit
 #: ``threshold_percent`` overrides in the baseline.  ``/3`` added the
 #: ``suite/two-size-kernel`` all-geometry sweep unit (epoch-segmented
-#: two-page-size kernel vs the scalar TLB walk).
-REPORT_SCHEMA = "repro-bench/3"
+#: two-page-size kernel vs the scalar TLB walk).  ``/4`` added
+#: ``suite/multiprog-kernel`` (the multiprogrammed quantum x policy x
+#: geometry grid vs the scalar ``MultiprogrammedTLB`` walk).
+REPORT_SCHEMA = "repro-bench/4"
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:

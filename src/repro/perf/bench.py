@@ -8,7 +8,10 @@ plus peak RSS for the process.
 
 ``suite/two-size-kernel`` is the all-geometry two-page-size sweep (the
 Table 5.1 shapes from one epoch-segmented pass, timed scalar vs vector
-like the kernel units).  Two *suite-level* units ride along:
+like the kernel units), and ``suite/multiprog-kernel`` its
+multiprogrammed sibling (a quantum x policy x geometry grid, one
+kernel pass per cell vs the scalar ``MultiprogrammedTLB`` walk).  Two
+*suite-level* units ride along:
 
 * ``suite/parallel-sweep`` — one configuration sweep timed serially and
   again at ``--jobs N`` through the shared worker pool, recording both
@@ -66,6 +69,7 @@ from repro.perf.kernels import KERNEL_SCALAR, KERNEL_VECTOR
 from repro.policy.dynamic_ws import dynamic_average_working_set
 from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
 from repro.sim.driver import run_single_size, run_two_sizes
+from repro.sim.multiprog import sweep_multiprogrammed
 from repro.sim.sweep import sweep_single_size
 from repro.stacksim.lru_stack import lru_miss_curve
 from repro.tlb.indexing import IndexingScheme, ProbeStrategy
@@ -145,6 +149,32 @@ def _unit_two_size_sweep(trace: Trace, kernel: str) -> Any:
     )
 
 
+#: Pinned grid for ``suite/multiprog-kernel``: the workload trace is cut
+#: into three contiguous "programs" and interleaved at two scheduling
+#: quanta under both context-switch policies, over the single-size
+#: Table 5.1 shapes.  Under the vector kernel each (quantum, policy)
+#: cell is one epoch-segmented pass serving all four geometries; the
+#: scalar side walks the same grid through ``MultiprogrammedTLB``.
+_MULTIPROG_QUANTA = (2_000, 8_000)
+_MULTIPROG_CONFIGS = (
+    _CONFIG_16E_FA,
+    TLBConfig(entries=32),
+    TLBConfig(entries=16, associativity=2, scheme=IndexingScheme.SMALL_INDEX),
+    TLBConfig(entries=32, associativity=2, scheme=IndexingScheme.SMALL_INDEX),
+)
+
+
+def _unit_multiprog_sweep(trace: Trace, kernel: str) -> Any:
+    third = len(trace) // 3
+    programs = [trace[index * third : (index + 1) * third] for index in range(3)]
+    return sweep_multiprogrammed(
+        programs,
+        list(_MULTIPROG_CONFIGS),
+        quanta=_MULTIPROG_QUANTA,
+        kernel=kernel,
+    )
+
+
 def _unit_working_set(trace: Trace, kernel: str) -> Any:
     return dynamic_average_working_set(
         trace, PAIR_4KB_32KB, 10_000, kernel=kernel
@@ -160,6 +190,7 @@ SUITE = (
     BenchUnit("policy/two-size-16e-FA", "espresso", _unit_two_size),
     BenchUnit("policy/working-set", "matrix300", _unit_working_set),
     BenchUnit("suite/two-size-kernel", "espresso", _unit_two_size_sweep),
+    BenchUnit("suite/multiprog-kernel", "matrix300", _unit_multiprog_sweep),
 )
 
 #: Suite-level unit names, in reporting order (after the kernel units).

@@ -8,7 +8,11 @@ from repro.sim.driver import (
     run_two_sizes,
     run_with_policy,
 )
-from repro.sim.multiprog import MultiprogramResult, run_multiprogrammed
+from repro.sim.multiprog import (
+    MultiprogramResult,
+    run_multiprogrammed,
+    sweep_multiprogrammed,
+)
 from repro.sim.sweep import sweep_single_size
 
 __all__ = [
@@ -21,5 +25,6 @@ __all__ = [
     "run_single_size",
     "run_two_sizes",
     "run_with_policy",
+    "sweep_multiprogrammed",
     "sweep_single_size",
 ]

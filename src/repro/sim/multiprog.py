@@ -4,23 +4,51 @@ Runs several programs' traces through one TLB with round-robin
 scheduling, under either context-switch policy of
 :mod:`repro.tlb.context`.  This is the experiment the paper's traces
 could not support (Sections 3.1, 6); results are labelled beyond-paper.
+
+:func:`sweep_multiprogrammed` is the grid entry point: it builds each
+quantum's interleaving exactly once, then evaluates every requested
+geometry of a (quantum, policy) cell from one epoch-segmented
+stack-depth pass (:mod:`repro.perf.multiprog`), with per-cell failure
+isolation and optional worker fan-out via
+:func:`repro.robustness.executor.run_units` and per-configuration
+results threaded through the content-addressed result cache (kind
+``"multiprog"``).  :func:`run_multiprogrammed` is the single-cell
+special case.  The scalar :class:`~repro.tlb.context.MultiprogrammedTLB`
+walk remains the reference oracle behind ``kernel="scalar"``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.mem.misshandler import SINGLE_SIZE_PENALTY_CYCLES
 from repro.metrics.cpi import TLBPerformance
+from repro.parallel.cache import (
+    CACHE_KEY_VERSION,
+    SimulationCache,
+    canonical_key,
+)
+from repro.perf.kernels import KERNEL_AUTO, KERNEL_VECTOR, resolve_kernel
+from repro.perf.multiprog import (
+    MultiprogCounts,
+    multiprog_counts,
+    validate_multiprog_config,
+)
+from repro.robustness import faultinject
+from repro.robustness.executor import UnitSpec, run_units
+from repro.robustness.retry import NO_RETRY
 from repro.sim.config import TLBConfig
 from repro.tlb.context import ContextSwitchPolicy, MultiprogrammedTLB
 from repro.trace.mix import interleave_with_contexts
 from repro.trace.record import Trace
 from repro.types import log2_exact
+
+#: Sweep result key: (policy value, quantum, config label).
+SweepKey = Tuple[str, int, str]
 
 
 @dataclass(frozen=True)
@@ -60,6 +88,33 @@ class MultiprogramResult:
     def cpi_tlb(self) -> float:
         return self.performance.cpi_tlb
 
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form, for the result cache."""
+        return {
+            "program_names": list(self.program_names),
+            "switch_policy": self.switch_policy.value,
+            "quantum": int(self.quantum),
+            "references": int(self.references),
+            "misses": int(self.misses),
+            "switches": int(self.switches),
+            "refs_per_instruction": float(self.refs_per_instruction),
+            "miss_penalty_cycles": float(self.miss_penalty_cycles),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "MultiprogramResult":
+        """Rebuild a result stored by :meth:`to_payload`."""
+        return cls(
+            program_names=tuple(payload["program_names"]),
+            switch_policy=ContextSwitchPolicy(payload["switch_policy"]),
+            quantum=int(payload["quantum"]),
+            references=int(payload["references"]),
+            misses=int(payload["misses"]),
+            switches=int(payload["switches"]),
+            refs_per_instruction=float(payload["refs_per_instruction"]),
+            miss_penalty_cycles=float(payload["miss_penalty_cycles"]),
+        )
+
 
 def run_multiprogrammed(
     traces: Sequence[Trace],
@@ -69,29 +124,205 @@ def run_multiprogrammed(
     switch_policy: ContextSwitchPolicy = ContextSwitchPolicy.ASID,
     page_size: int = 4096,
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
 ) -> MultiprogramResult:
-    """Simulate a round-robin multiprogrammed mix on one TLB."""
+    """Simulate a round-robin multiprogrammed mix on one TLB.
+
+    The single-cell case of :func:`sweep_multiprogrammed`: same kernel
+    switch, same validation, same cache entries — a later grid sweep
+    reuses anything computed here and vice versa.
+    """
+    results = sweep_multiprogrammed(
+        traces,
+        (config,),
+        quanta=(quantum,),
+        policies=(switch_policy,),
+        page_size=page_size,
+        base_penalty=base_penalty,
+        kernel=kernel,
+        cache=cache,
+    )
+    return results[(switch_policy.value, quantum, config.label)]
+
+
+def sweep_multiprogrammed(
+    traces: Sequence[Trace],
+    configs: Sequence[TLBConfig],
+    *,
+    quanta: Sequence[int] = (20_000,),
+    policies: Sequence[ContextSwitchPolicy] = (
+        ContextSwitchPolicy.FLUSH,
+        ContextSwitchPolicy.ASID,
+    ),
+    page_size: int = 4096,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
+    jobs: Optional[int] = None,
+) -> Dict[SweepKey, MultiprogramResult]:
+    """One-pass quantum x policy x geometry grid over a program mix.
+
+    Each quantum's interleaving is built exactly once (vectorized
+    round-robin mixer) and shared by both policies; each (quantum,
+    policy) cell is one executor unit that serves *every* geometry from
+    a single epoch-segmented kernel pass (or, under ``kernel="scalar"``,
+    one oracle walk driving all cell TLBs).  Cached cells are skipped
+    per configuration — entries share the ``"multiprog"`` cache kind
+    with :func:`run_multiprogrammed`.  ``jobs`` fans the cells out over
+    forked workers (the parent-built mixes are inherited through the
+    fork); a failed cell raises :class:`~repro.errors.SimulationError`
+    after the remaining cells have finished.
+
+    Returns a dict keyed by ``(policy.value, quantum, config.label)``.
+    """
+    faultinject.check("sim.multiprog.sweep")
     if not traces:
         raise ConfigurationError("need at least one trace to mix")
-    mixed, contexts = interleave_with_contexts(traces, quantum=quantum)
-    tlb = MultiprogrammedTLB(config.build(), switch_policy)
-
-    pages = (mixed.addresses >> np.uint32(log2_exact(page_size))).tolist()
-    context_list = contexts.tolist()
-    current = -1
-    for page, context in zip(pages, context_list):
-        if context != current:
-            tlb.switch_to(context)
-            current = context
-        tlb.access_single(page)
-
-    return MultiprogramResult(
-        program_names=tuple(trace.name for trace in traces),
-        switch_policy=switch_policy,
-        quantum=quantum,
-        references=len(mixed),
-        misses=tlb.stats.misses,
-        switches=tlb.switches,
-        refs_per_instruction=mixed.refs_per_instruction,
-        miss_penalty_cycles=base_penalty,
+    if not configs:
+        raise ConfigurationError(
+            "sweep_multiprogrammed needs at least one TLBConfig"
+        )
+    if not quanta:
+        raise ConfigurationError(
+            "sweep_multiprogrammed needs at least one quantum"
+        )
+    if not policies:
+        raise ConfigurationError(
+            "sweep_multiprogrammed needs at least one switch policy"
+        )
+    for config in configs:
+        validate_multiprog_config(config)
+    resolved = resolve_kernel(
+        kernel,
+        vector_supported=all(
+            config.replacement == "lru" for config in configs
+        ),
     )
+
+    program_names = tuple(trace.name for trace in traces)
+    results: Dict[SweepKey, MultiprogramResult] = {}
+    # (quantum, policy) -> [(config, cache key or None), ...] still to run.
+    pending: Dict[Tuple[int, ContextSwitchPolicy], List[Any]] = {}
+    for quantum in quanta:
+        for policy in policies:
+            for config in configs:
+                key: Optional[str] = None
+                if cache is not None:
+                    key = canonical_key(
+                        {
+                            "version": CACHE_KEY_VERSION,
+                            "kind": "multiprog",
+                            "traces": [t.fingerprint for t in traces],
+                            "quantum": quantum,
+                            "policy": policy.value,
+                            "page_size": page_size,
+                            "config": config.cache_parts(),
+                            "base_penalty": base_penalty,
+                            "kernel": resolved,
+                        }
+                    )
+                    payload = cache.get(key)
+                    if payload is not None:
+                        results[(policy.value, quantum, config.label)] = (
+                            MultiprogramResult.from_payload(payload)
+                        )
+                        continue
+                pending.setdefault((quantum, policy), []).append(
+                    (config, key)
+                )
+    if not pending:
+        return results
+
+    # Build each needed interleaving exactly once, in the parent, so
+    # forked cell workers inherit the arrays instead of rebuilding them.
+    shift = np.uint32(log2_exact(page_size))
+    mixes: Dict[int, Tuple[np.ndarray, np.ndarray, Trace]] = {}
+    for quantum in {quantum for quantum, _ in pending}:
+        mixed, contexts = interleave_with_contexts(traces, quantum=quantum)
+        pages = np.asarray(mixed.addresses >> shift, dtype=np.int64)
+        mixes[quantum] = (pages, contexts, mixed)
+
+    def make_cell(
+        quantum: int, policy: ContextSwitchPolicy, cell_configs: List[TLBConfig]
+    ):
+        def run_cell() -> List[Dict[str, Any]]:
+            faultinject.check("sim.multiprog.cell")
+            pages, contexts, mixed = mixes[quantum]
+            if resolved == KERNEL_VECTOR:
+                counts = multiprog_counts(
+                    pages, contexts, policy, cell_configs
+                )
+            else:
+                counts = _scalar_counts(pages, contexts, policy, cell_configs)
+            return [
+                MultiprogramResult(
+                    program_names=program_names,
+                    switch_policy=policy,
+                    quantum=quantum,
+                    references=len(mixed),
+                    misses=count.misses,
+                    switches=count.switches,
+                    refs_per_instruction=mixed.refs_per_instruction,
+                    miss_penalty_cycles=base_penalty,
+                ).to_payload()
+                for count in counts
+            ]
+
+        return run_cell
+
+    units = []
+    cells = []
+    for (quantum, policy), cell_entries in pending.items():
+        cell_configs = [config for config, _ in cell_entries]
+        units.append(
+            UnitSpec(
+                name=f"multiprog/q{quantum}/{policy.value}",
+                run=make_cell(quantum, policy, cell_configs),
+            )
+        )
+        cells.append((policy, quantum, cell_entries))
+    report = run_units(units, retry_policy=NO_RETRY, jobs=jobs)
+    if report.failures:
+        failure = report.failures[0]
+        raise SimulationError(
+            f"multiprogrammed sweep cell {failure.name} failed: "
+            f"{failure.error}"
+        )
+    for outcome, (policy, quantum, cell_entries) in zip(
+        report.outcomes, cells
+    ):
+        for payload, (config, key) in zip(outcome.result, cell_entries):
+            if cache is not None and key is not None:
+                cache.put(key, payload)
+            results[(policy.value, quantum, config.label)] = (
+                MultiprogramResult.from_payload(payload)
+            )
+    return results
+
+
+def _scalar_counts(
+    pages: np.ndarray,
+    contexts: np.ndarray,
+    policy: ContextSwitchPolicy,
+    configs: Sequence[TLBConfig],
+) -> List[MultiprogCounts]:
+    """Reference oracle: stateful multiprogrammed TLB walks, one pass.
+
+    Every configuration's TLB sees the identical reference and switch
+    stream, so one walk of the mix drives them all — the scalar analogue
+    of the kernel's one-pass-many-geometries contract.
+    """
+    tlbs = [MultiprogrammedTLB(config.build(), policy) for config in configs]
+    current = -1
+    for page, context in zip(pages.tolist(), contexts.tolist()):
+        if context != current:
+            for tlb in tlbs:
+                tlb.switch_to(context)
+            current = context
+        for tlb in tlbs:
+            tlb.access_single(page)
+    return [
+        MultiprogCounts(misses=tlb.stats.misses, switches=tlb.switches)
+        for tlb in tlbs
+    ]

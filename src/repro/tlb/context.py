@@ -26,8 +26,10 @@ from repro.tlb.base import TLB
 
 #: Shift applied to the ASID when folding it into a page number.  Block
 #: numbers in a 32-bit/4KB system need 20 bits; 26 leaves margin for the
-#: page-size flag and keeps the folded numbers exact integers.
-_ASID_SHIFT = 26
+#: page-size flag and keeps the folded numbers exact integers.  Public
+#: because :mod:`repro.perf.multiprog` applies the identical fold as an
+#: array expression and must stay bit-compatible with this model.
+ASID_SHIFT = 26
 
 
 class ContextSwitchPolicy(enum.Enum):
@@ -74,7 +76,7 @@ class MultiprogrammedTLB:
     def access(self, block: int, chunk: int, large: bool = False) -> bool:
         """Look up a reference in the current address space."""
         if self.policy is ContextSwitchPolicy.ASID:
-            prefix = self._asid << _ASID_SHIFT
+            prefix = self._asid << ASID_SHIFT
             return self.tlb.access(prefix | block, prefix | chunk, large)
         return self.tlb.access(block, chunk, large)
 

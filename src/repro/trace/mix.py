@@ -22,6 +22,57 @@ from repro.trace.record import Trace
 from repro.types import VIRTUAL_ADDRESS_LIMIT, is_power_of_two
 
 
+def _round_robin_order(
+    lengths: Sequence[int], quantum: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gather order of a round-robin interleave, fully vectorized.
+
+    Position ``j`` of the mix takes reference ``gather[j]`` of the
+    concatenation of the traces in input order, and ``contexts[j]`` is
+    the index of the trace it came from.  The schedule is round-major,
+    trace-minor: each round grants every unexhausted trace up to
+    ``quantum`` references; exhausted traces (including empty ones) are
+    skipped, so shorter traces simply stop being scheduled.
+
+    Built as an arange/repeat construction: the (round, trace) segment
+    lengths fall out of one clipped broadcast, segment source offsets
+    are ``base + round * quantum``, and the gather array is a repeat of
+    per-segment starts plus a global arange minus each segment's output
+    start — no per-quantum Python loop.
+    """
+    lengths_arr = np.asarray(lengths, dtype=np.int64)
+    total = int(lengths_arr.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int32)
+    rounds = int(-(-int(lengths_arr.max()) // quantum))
+    step = np.int64(quantum) * np.arange(rounds, dtype=np.int64)[:, None]
+    seg_len = np.clip(lengths_arr[None, :] - step, 0, quantum)
+    base = np.concatenate(([0], np.cumsum(lengths_arr)[:-1]))
+    seg_src = base[None, :] + step
+    seg_ctx = np.broadcast_to(
+        np.arange(lengths_arr.size, dtype=np.int32), seg_len.shape
+    )
+    flat_len = seg_len.ravel()
+    keep = flat_len > 0
+    flat_len = flat_len[keep]
+    flat_src = seg_src.ravel()[keep]
+    out_start = np.cumsum(flat_len) - flat_len
+    gather = np.repeat(flat_src - out_start, flat_len) + np.arange(
+        total, dtype=np.int64
+    )
+    contexts = np.repeat(seg_ctx.ravel()[keep], flat_len)
+    return gather, contexts
+
+
+def _mix_name(traces: Sequence[Trace]) -> str:
+    return "mix(" + ",".join(trace.name for trace in traces) + ")"
+
+
+def _mix_rpi(traces: Sequence[Trace], total_length: int) -> float:
+    total_instructions = sum(trace.instruction_count for trace in traces)
+    return total_length / total_instructions if total_instructions else 1.0
+
+
 def round_robin_mix(
     traces: Sequence[Trace],
     *,
@@ -34,7 +85,8 @@ def round_robin_mix(
     distinct programs never share pages (modelling per-process address
     spaces without ASIDs, i.e. a TLB flushed conceptually by distinct
     mappings rather than literally).  The mix ends when every trace is
-    exhausted; shorter traces simply stop being scheduled.
+    exhausted; shorter traces simply stop being scheduled, and an input
+    of entirely empty traces yields an empty mix.
 
     Args:
         traces: the uniprogrammed traces to interleave.
@@ -61,30 +113,19 @@ def round_robin_mix(
                 f"context stride {context_stride:#x}"
             )
 
-    address_parts = []
-    kind_parts = []
-    cursors = [0] * len(traces)
-    remaining = sum(len(trace) for trace in traces)
-    while remaining > 0:
-        for index, trace in enumerate(traces):
-            start = cursors[index]
-            if start >= len(trace):
-                continue
-            stop = min(start + quantum, len(trace))
-            offset = np.uint32(index * context_stride)
-            address_parts.append(trace.addresses[start:stop] + offset)
-            kind_parts.append(trace.kinds[start:stop])
-            cursors[index] = stop
-            remaining -= stop - start
-
-    total_length = sum(part.size for part in address_parts)
-    total_instructions = sum(trace.instruction_count for trace in traces)
-    rpi = total_length / total_instructions if total_instructions else 1.0
+    gather, contexts = _round_robin_order(
+        [len(trace) for trace in traces], quantum
+    )
+    # uint32 arithmetic is exact here: the stride/footprint validations
+    # above guarantee offset + address < 2**32.
+    offsets = contexts.astype(np.uint32) * np.uint32(context_stride)
+    addresses = np.concatenate([trace.addresses for trace in traces])
+    kinds = np.concatenate([trace.kinds for trace in traces])
     return Trace(
-        np.concatenate(address_parts),
-        np.concatenate(kind_parts),
-        name="mix(" + ",".join(trace.name for trace in traces) + ")",
-        refs_per_instruction=rpi,
+        addresses[gather] + offsets,
+        kinds[gather],
+        name=_mix_name(traces),
+        refs_per_instruction=_mix_rpi(traces, gather.size),
     )
 
 
@@ -104,39 +145,23 @@ def interleave_with_contexts(
 
     Returns:
         ``(mixed_trace, contexts)`` where ``contexts[i]`` is the address
-        space of reference ``i``.
+        space of reference ``i``.  An input of entirely empty traces
+        yields an empty mix and an empty context array.
     """
     if not traces:
         raise TraceError("cannot mix zero traces")
     if quantum <= 0:
         raise TraceError("quantum must be positive")
 
-    address_parts = []
-    kind_parts = []
-    context_parts = []
-    cursors = [0] * len(traces)
-    remaining = sum(len(trace) for trace in traces)
-    while remaining > 0:
-        for index, trace in enumerate(traces):
-            start = cursors[index]
-            if start >= len(trace):
-                continue
-            stop = min(start + quantum, len(trace))
-            address_parts.append(trace.addresses[start:stop])
-            kind_parts.append(trace.kinds[start:stop])
-            context_parts.append(
-                np.full(stop - start, index, dtype=np.int32)
-            )
-            cursors[index] = stop
-            remaining -= stop - start
-
-    total_length = sum(part.size for part in address_parts)
-    total_instructions = sum(trace.instruction_count for trace in traces)
-    rpi = total_length / total_instructions if total_instructions else 1.0
-    mixed = Trace(
-        np.concatenate(address_parts),
-        np.concatenate(kind_parts),
-        name="mix(" + ",".join(trace.name for trace in traces) + ")",
-        refs_per_instruction=rpi,
+    gather, contexts = _round_robin_order(
+        [len(trace) for trace in traces], quantum
     )
-    return mixed, np.concatenate(context_parts)
+    addresses = np.concatenate([trace.addresses for trace in traces])
+    kinds = np.concatenate([trace.kinds for trace in traces])
+    mixed = Trace(
+        addresses[gather],
+        kinds[gather],
+        name=_mix_name(traces),
+        refs_per_instruction=_mix_rpi(traces, gather.size),
+    )
+    return mixed, contexts

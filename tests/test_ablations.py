@@ -171,8 +171,18 @@ class TestMultiprogramming:
             <= multi.mixed_cpi[("flush", short)] + 1e-9
         )
 
+    def test_disjoint_baseline_covers_every_quantum(self, multi):
+        # The disjoint-address-space reference must compare like-for-like
+        # with the flush/asid rows, not only at the last quantum.
+        assert set(multi.disjoint_cpi) == set(multi.quanta)
+        for value in multi.disjoint_cpi.values():
+            assert value >= min(multi.solo_cpi.values())
+
     def test_render(self, multi):
-        assert "multiprogramming" in multi.render()
+        rendered = multi.render()
+        assert "multiprogramming" in rendered
+        for quantum in multi.quanta:
+            assert f"disjoint address spaces, quantum={quantum}" in rendered
 
 
 class TestWalkCost:
