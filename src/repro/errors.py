@@ -95,6 +95,27 @@ class WorkerCrashError(ParallelError):
     """
 
 
+class WorkerHangError(ParallelError):
+    """A worker was detected hung and killed by the pool supervisor.
+
+    Synthesized when a worker blows its per-unit deadline, stops
+    heartbeating, or trips the RSS watchdog; the supervision layer kills
+    the process (SIGKILL after a grace period) and requeues or fails the
+    unit it was running.
+    """
+
+
+class PoisonUnitError(WorkerCrashError):
+    """A unit was quarantined after killing too many workers.
+
+    A unit that repeatedly crashes or hangs its worker (a segfaulting
+    input, an unbounded allocation, an infinite loop) must not respawn
+    workers forever; after ``max_worker_kills`` kill events the unit is
+    marked FAILED with this error and a structured ``detail`` record in
+    the journal, and the rest of the suite proceeds.
+    """
+
+
 class CacheError(ReproError):
     """A result-cache directory could not be created or written.
 

@@ -12,6 +12,10 @@ than replace it:
 * :mod:`repro.parallel.cache` — a content-addressed on-disk result cache
   keyed by SHA-256 of (trace fingerprint, config, kernel, penalty
   model), consulted before any simulation.
+* :mod:`repro.parallel.supervisor` — the supervision policy layered on
+  the pool: heartbeat/deadline hang detection, requeue-then-quarantine
+  of worker-killing units, exponential-backoff respawn, AIMD admission
+  control, and degraded-serial fallback.
 
 The engine (:mod:`repro.parallel.engine`) ties them together behind
 ``run_units(..., jobs=N)``; the parent process keeps sole ownership of
@@ -25,9 +29,15 @@ from repro.parallel.pool import (
     parallel_map,
     resolve_jobs,
 )
+from repro.parallel.supervisor import (
+    AIMDController,
+    SupervisorConfig,
+)
 
 __all__ = [
+    "AIMDController",
     "SimulationCache",
+    "SupervisorConfig",
     "canonical_key",
     "in_worker",
     "parallel_map",

@@ -26,12 +26,51 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import warnings
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, Mapping, Optional, Union
 
 from repro.errors import CacheError
+
+
+class CacheIntegrityWarning(UserWarning):
+    """A corrupt cache entry was discarded and will be recomputed.
+
+    Self-healing must be observable: silent discard-and-recompute makes
+    a rotting disk look like a slow machine.  The warning names the
+    entry; the per-process counter (:func:`corrupt_discarded_total`)
+    feeds the suite report's ``cache_corrupt_discarded`` line.
+    """
+
+
+#: Process-wide count of corrupt entries discarded, across all cache
+#: instances (workers report theirs to the parent via pool events).
+_CORRUPT_DISCARDED = 0
+
+
+def corrupt_discarded_total() -> int:
+    """Corrupt cache entries discarded by this process so far."""
+    return _CORRUPT_DISCARDED
+
+
+def _note_corrupt_entry(path: Path) -> None:
+    global _CORRUPT_DISCARDED
+    _CORRUPT_DISCARDED += 1
+    warnings.warn(
+        f"discarding corrupt result-cache entry {path} (recomputing)",
+        CacheIntegrityWarning,
+        stacklevel=3,
+    )
+    # In a pool worker the counter above is invisible to the parent:
+    # forward the discard as an out-of-band event.  Lazy import — the
+    # pool imports nothing from this module, but keep the edge one-way
+    # at module load anyway.
+    from repro.parallel.pool import emit_event, in_worker
+
+    if in_worker():
+        emit_event(("cache_corrupt", str(path)))
 
 #: Entry-file schema; bump on layout changes.
 CACHE_SCHEMA = "repro-cache/1"
@@ -152,6 +191,7 @@ class SimulationCache:
             # Never trust a damaged entry: drop it and recompute.
             self.stats.discards += 1
             self.stats.misses += 1
+            _note_corrupt_entry(path)
             try:
                 path.unlink()
             except OSError:
@@ -192,8 +232,10 @@ class SimulationCache:
 __all__ = [
     "CACHE_KEY_VERSION",
     "CACHE_SCHEMA",
+    "CacheIntegrityWarning",
     "CacheStats",
     "SimulationCache",
     "canonical_key",
+    "corrupt_discarded_total",
     "default_cache_root",
 ]

@@ -18,6 +18,20 @@ or whose *worker dies outright* (segfault, ``os._exit``, OOM kill) — is
 recorded FAILED while the rest of the suite keeps running on the
 surviving (or respawned) workers.  Units whose declared dependencies
 failed are failed without running.
+
+Supervision (on by default, see
+:class:`~repro.parallel.supervisor.SupervisorConfig`) layers four
+behaviors on top:
+
+* a killed worker's in-flight unit is **requeued**, not failed — until
+  the unit has killed ``max_worker_kills`` workers, when it is
+  quarantined as a :class:`~repro.errors.PoisonUnitError`;
+* hung workers (blown ``unit_deadline``, lost heartbeat, RSS trip)
+  surface as ``"hang"`` messages and are treated like crashes;
+* respawns back off exponentially and draw from a bounded budget;
+  exhausting it falls back to **degraded-serial** execution in the
+  parent (or raises, with ``degraded_ok=False``);
+* an AIMD window throttles how many units are in flight at once.
 """
 
 from __future__ import annotations
@@ -26,13 +40,20 @@ import pickle
 import traceback as traceback_module
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Type
 
-from repro.errors import ParallelError, WorkerCrashError
+from repro.errors import (
+    DeadlineExceededError,
+    ParallelError,
+    PoisonUnitError,
+    WorkerCrashError,
+)
 from repro.parallel import scheduler
+from repro.parallel.cache import corrupt_discarded_total
 from repro.parallel.pool import (
     WorkerPool,
     emit_event,
     reconstruct_error,
 )
+from repro.parallel.supervisor import SupervisorConfig, UnitSupervisor
 from repro.robustness.journal import RunJournal
 from repro.robustness.retry import Deadline, RetryPolicy, call_with_retry
 
@@ -57,12 +78,15 @@ def run_units_parallel(
     journal_payload: Optional[Callable],
     clock: Callable[[], float],
     sleep: Callable[[float], None],
+    supervision: Optional[SupervisorConfig] = None,
 ):
     """Parallel twin of the serial loop in ``robustness.executor``.
 
     Same report, same journal contents, same callback order — only the
     wall clock differs.  Called via ``run_units(jobs=N)``; not meant to
-    be invoked directly.
+    be invoked directly.  ``supervision=None`` means default supervision
+    (heartbeats, requeue-then-quarantine, AIMD admission); pass
+    ``SupervisorConfig(enabled=False)`` for the bare engine.
     """
     from repro.robustness.executor import (
         STATUS_FAILED,
@@ -113,13 +137,33 @@ def run_units_parallel(
 
         return task
 
+    config = supervision if supervision is not None else SupervisorConfig()
     runnable = sum(1 for stage in staged if stage is None)
+    worker_count = max(1, min(jobs, runnable))
+    supervisor: Optional[UnitSupervisor] = (
+        UnitSupervisor(config, jobs=worker_count, count=count)
+        if config.enabled
+        else None
+    )
     pool: Optional[WorkerPool] = None
     if runnable:
-        pool = WorkerPool([make_task(spec) for spec in units],
-                          min(jobs, runnable))
+        pool_options: Dict[str, Any] = {}
+        if supervisor is not None:
+            pool_options = dict(
+                heartbeat_interval=config.heartbeat_interval,
+                heartbeat_timeout=config.heartbeat_timeout,
+                unit_deadline=config.unit_deadline,
+                rss_limit_kb=config.rss_limit_kb,
+                kill_grace=config.kill_grace,
+            )
+        pool = WorkerPool(
+            [make_task(spec) for spec in units], worker_count, **pool_options
+        )
     router = scheduler.AffinityRouter()
     report = SuiteReport()
+    # Parent-side discards (cache hits checked in the parent, degraded
+    # mode); worker-side ones arrive as "cache_corrupt" events.
+    corrupt_before = corrupt_discarded_total()
 
     def stage_failure(
         index: int,
@@ -129,6 +173,7 @@ def run_units_parallel(
         elapsed: float,
         attempts: int,
         exception: BaseException,
+        detail: Optional[Dict[str, Any]] = None,
     ) -> None:
         staged[index] = {
             "kind": "fail",
@@ -137,6 +182,7 @@ def run_units_parallel(
             "elapsed": elapsed,
             "attempts": attempts,
             "exception": exception,
+            "detail": detail,
         }
         finished_fail.add(units[index].name)
 
@@ -239,6 +285,7 @@ def run_units_parallel(
                 traceback=stage["traceback"],
                 elapsed=stage["elapsed"],
                 attempts=stage["attempts"],
+                detail=stage.get("detail"),
             )
         report.outcomes.append(
             UnitOutcome(
@@ -254,10 +301,126 @@ def run_units_parallel(
             on_failure(spec, stage["exception"])
         return True
 
+    def handle_kill(index: int, worker_id: int, reason: str, error_text: str):
+        """A worker kill took unit ``index`` with it: requeue or poison.
+
+        ``reason`` is ``"crash"`` or a hang reason; ``error_text`` is the
+        human-readable account of what the killed worker was doing, and
+        is embedded in the quarantine message so the journal still names
+        the underlying failure.
+        """
+        kills = supervisor.record_kill(index, reason=reason, error=error_text)
+        if kills < config.max_worker_kills:
+            supervisor.requeues += 1
+            dispatched[index] = False
+            events[index] = []  # the retry notices died with the attempt
+            return
+        name = units[index].name
+        supervisor.poisoned_units.append(name)
+        error = PoisonUnitError(
+            f"unit {name!r} quarantined after killing {kills} workers; "
+            f"last: {error_text}"
+        )
+        stage_failure(
+            index,
+            error_text=f"{type(error).__name__}: {error}",
+            traceback_text=None,
+            elapsed=0.0,
+            attempts=kills,
+            exception=error,
+            detail=supervisor.poison_detail(index),
+        )
+
+    def run_inline(index: int) -> None:
+        """Degraded mode: run one unit in the parent, staging its outcome."""
+        spec = units[index]
+        deadline = Deadline(deadline_seconds, clock=clock)
+        attempts_seen = {"count": 0}
+
+        def notify(attempt, error, delay):
+            attempts_seen["count"] = attempt
+            # Staged like worker retry events so flush announces them
+            # identically.
+            events[index].append(
+                ("retry", attempt, type(error).__name__, str(error), delay)
+            )
+
+        started = clock()
+        try:
+            result, attempts = call_with_retry(
+                spec.run,
+                policy=retry_policy,
+                deadline=deadline,
+                retriable=retriable,
+                on_retry=notify,
+                sleep=sleep,
+                label=spec.name,
+            )
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except BaseException as error:  # noqa: BLE001 - isolation boundary
+            attempts = attempts_seen["count"] + (
+                0 if isinstance(error, DeadlineExceededError) else 1
+            )
+            stage_failure(
+                index,
+                error_text=f"{type(error).__name__}: {error}",
+                traceback_text="".join(
+                    traceback_module.format_exception(
+                        type(error), error, error.__traceback__
+                    )
+                ),
+                elapsed=clock() - started,
+                attempts=attempts,
+                exception=error,
+            )
+            return
+        staged[index] = {
+            "kind": "ok",
+            "result": result,
+            "attempts": attempts,
+            "elapsed": clock() - started,
+        }
+
     flushed = 0
     stop = False
     respawn_budget = count + jobs
     clean = False
+
+    def run_degraded_serial() -> None:
+        """The pool is gone: finish the suite serially in the parent.
+
+        Spec order is validated dependency-consistent and flush is a
+        contiguous prefix, so running and flushing unit ``flushed`` in
+        lockstep preserves every ordering contract.
+        """
+        nonlocal flushed, stop
+        supervisor.degraded = True
+        while flushed < count and not stop:
+            if staged[flushed] is None:
+                failed_needs = [
+                    need
+                    for need in scheduler.unit_needs(units[flushed])
+                    if need in finished_fail
+                ]
+                if failed_needs:
+                    error = ParallelError(
+                        f"dependency {failed_needs[0]!r} failed"
+                    )
+                    stage_failure(
+                        flushed,
+                        error_text=f"{type(error).__name__}: {error}",
+                        traceback_text=None,
+                        elapsed=0.0,
+                        attempts=0,
+                        exception=error,
+                    )
+                else:
+                    run_inline(flushed)
+            failed = flush(flushed)
+            flushed += 1
+            if failed and fail_fast:
+                stop = True
     try:
         while flushed < count:
             # Fail units whose dependencies failed (topo order, so one
@@ -294,9 +457,16 @@ def run_units_parallel(
                 raise ParallelError(
                     "internal: unfinished units but no worker pool"
                 )
+            in_flight = sum(
+                1
+                for index in range(count)
+                if dispatched[index] and staged[index] is None
+            )
             for index in topo:
                 if staged[index] is not None or dispatched[index]:
                     continue
+                if supervisor is not None and in_flight >= supervisor.window():
+                    break  # AIMD admission: pool is shedding load
                 spec = units[index]
                 if any(
                     need not in flushed_ok
@@ -311,10 +481,13 @@ def run_units_parallel(
                     continue
                 pool.submit(worker_id, index)
                 dispatched[index] = True
+                in_flight += 1
             for message in pool.poll(_POLL_SECONDS):
                 index = message.task_id
                 if message.kind == "event":
-                    if index is not None and message.payload[0] == "retry":
+                    if message.payload[0] == "cache_corrupt":
+                        report.cache_corrupt_discarded += 1
+                    elif index is not None and message.payload[0] == "retry":
                         events[index].append(message.payload)
                 elif message.kind == "done" and staged[index] is None:
                     blob, elapsed = message.payload
@@ -325,6 +498,8 @@ def run_units_parallel(
                         "attempts": attempts,
                         "elapsed": elapsed,
                     }
+                    if supervisor is not None:
+                        supervisor.on_healthy()
                 elif message.kind == "error" and staged[index] is None:
                     type_name, text, remote_tb, elapsed = message.payload
                     retries = len(events[index])
@@ -341,9 +516,25 @@ def run_units_parallel(
                         attempts=attempts,
                         exception=reconstruct_error(type_name, text, remote_tb),
                     )
+                    if supervisor is not None:
+                        # An ordinary reported error is a *healthy*
+                        # worker doing its job; only kills shrink the
+                        # admission window.
+                        supervisor.on_healthy()
                 elif message.kind == "crash":
                     router.forget_worker(message.worker_id)
-                    if index is not None and staged[index] is None:
+                    if index is None or staged[index] is not None:
+                        continue
+                    error_text = (
+                        f"WorkerCrashError: worker {message.worker_id} "
+                        f"exited with code {message.payload} while running "
+                        f"{units[index].name!r}"
+                    )
+                    if supervisor is not None:
+                        handle_kill(
+                            index, message.worker_id, "crash", error_text
+                        )
+                    else:
                         error = WorkerCrashError(
                             f"worker {message.worker_id} exited with code "
                             f"{message.payload} while running "
@@ -357,20 +548,64 @@ def run_units_parallel(
                             attempts=len(events[index]) + 1,
                             exception=error,
                         )
-            if pool.alive_count() == 0:
-                outstanding = any(
-                    staged[index] is None and not dispatched[index]
-                    for index in range(count)
-                )
-                if outstanding:
-                    if respawn_budget <= 0:
-                        raise ParallelError(
-                            "workers keep dying before accepting work; "
-                            "giving up on the remaining units"
+                elif message.kind == "hang":
+                    # Only supervised pools synthesize hangs; the worker
+                    # is already dead (killed by the pool).
+                    router.forget_worker(message.worker_id)
+                    if index is not None and staged[index] is None:
+                        reason = message.payload["reason"]
+                        hang_elapsed = message.payload["elapsed"]
+                        handle_kill(
+                            index,
+                            message.worker_id,
+                            reason,
+                            f"WorkerHangError: worker {message.worker_id} "
+                            f"hung ({reason}) after {hang_elapsed:.1f}s "
+                            f"running {units[index].name!r}",
                         )
-                    for worker_id in range(pool.jobs):
-                        respawn_budget -= 1
-                        pool.respawn(worker_id)
+            if supervisor is None:
+                if pool.alive_count() == 0:
+                    outstanding = any(
+                        staged[index] is None and not dispatched[index]
+                        for index in range(count)
+                    )
+                    if outstanding:
+                        if respawn_budget <= 0:
+                            raise ParallelError(
+                                "workers keep dying before accepting work; "
+                                "giving up on the remaining units"
+                            )
+                        for worker_id in range(pool.jobs):
+                            respawn_budget -= 1
+                            pool.respawn(worker_id)
+                continue
+            outstanding = any(
+                staged[index] is None and not dispatched[index]
+                for index in range(count)
+            )
+            if not outstanding:
+                continue
+            dead = pool.dead_workers()
+            if dead:
+                delay = supervisor.backoff_delay()
+                if delay > 0.0:
+                    sleep(delay)
+                for worker_id in dead:
+                    if not supervisor.consume_respawn():
+                        break
+                    pool.respawn(worker_id)
+            if pool.alive_count() == 0:
+                # The respawn budget is gone and no worker survives:
+                # the pool cannot be kept healthy.
+                if not config.degraded_ok:
+                    raise ParallelError(
+                        "workers keep dying and the respawn budget is "
+                        f"exhausted after {supervisor.respawns} respawns; "
+                        "remaining units not run "
+                        "(degraded_ok would fall back to serial)"
+                    )
+                pool.terminate()
+                run_degraded_serial()
         clean = True
     finally:
         if pool is not None:
@@ -378,6 +613,11 @@ def run_units_parallel(
                 pool.close()
             else:
                 pool.terminate()
+    if supervisor is not None:
+        report.supervision = supervisor.stats()
+    report.cache_corrupt_discarded += (
+        corrupt_discarded_total() - corrupt_before
+    )
     return report
 
 

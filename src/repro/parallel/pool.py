@@ -22,6 +22,15 @@ Design decisions, each load-bearing:
   liveness and synthesizes a ``"crash"`` message for the in-flight task
   of a dead worker, so callers handle a segfault with the same code path
   as a Python exception.
+* **Hangs are messages too.**  A supervised pool (one built with
+  ``heartbeat_interval`` and/or ``unit_deadline``) runs a daemon
+  heartbeat thread in every worker and tracks dispatch times in the
+  parent; ``poll`` synthesizes a ``"hang"`` message — after killing the
+  worker, SIGTERM then SIGKILL past the grace period — when a worker
+  blows its per-unit deadline, stops heartbeating (a GIL-holding C
+  hang, a SIGSTOP, a dead queue feeder), or trips the optional RSS
+  watchdog.  An unsupervised pool pays none of this: no thread, no
+  clock reads.
 """
 
 from __future__ import annotations
@@ -31,6 +40,7 @@ import multiprocessing
 import os
 import pickle
 import queue as queue_module
+import threading
 import time
 import traceback as traceback_module
 from dataclasses import dataclass
@@ -106,7 +116,11 @@ def resolve_jobs(jobs: Optional[int]) -> int:
 
 
 #: A pool message: kind is "start" | "done" | "error" | "event" |
-#: "bye" | "crash".  ``payload`` is kind-specific (see ``_worker_main``).
+#: "bye" | "crash" | "hang".  ``payload`` is kind-specific (see
+#: ``_worker_main``; for "hang" it is a dict with ``reason`` —
+#: ``"deadline"``/``"heartbeat"``/``"rss"`` — and ``elapsed`` seconds).
+#: "heartbeat" messages exist on the wire but are consumed inside
+#: ``poll`` and never returned to callers.
 @dataclass(frozen=True)
 class Message:
     kind: str
@@ -115,7 +129,28 @@ class Message:
     payload: Any = None
 
 
-def _worker_main(worker_id, tasks, task_queue, result_queue) -> None:
+def _heartbeat_loop(worker_id, result_queue, interval) -> None:
+    """Worker-side daemon thread: prove liveness every ``interval`` seconds.
+
+    The thread keeps beating through a pure-Python busy loop in the main
+    thread (the GIL is released every switch interval), so a lost
+    heartbeat means something harder — a C extension holding the GIL, a
+    stopped process, a broken queue feeder — which is exactly what the
+    parent's hang detector should treat as dead.
+    """
+    while True:
+        time.sleep(interval)
+        try:
+            result_queue.put(
+                ("heartbeat", worker_id, _CURRENT_TASK, time.monotonic())
+            )
+        except Exception:  # noqa: BLE001 - interpreter teardown
+            return
+
+
+def _worker_main(
+    worker_id, tasks, task_queue, result_queue, heartbeat_interval=None
+) -> None:
     """Worker loop: take (task_id, spec) off the queue, report outcome.
 
     ``spec`` is either an int (index into the fork-inherited ``tasks``
@@ -124,6 +159,12 @@ def _worker_main(worker_id, tasks, task_queue, result_queue) -> None:
     global _CURRENT_WORKER, _CURRENT_TASK, _RESULT_QUEUE
     _CURRENT_WORKER = worker_id
     _RESULT_QUEUE = result_queue
+    if heartbeat_interval is not None:
+        threading.Thread(
+            target=_heartbeat_loop,
+            args=(worker_id, result_queue, heartbeat_interval),
+            daemon=True,
+        ).start()
     while True:
         item = task_queue.get()
         if item is None:
@@ -172,6 +213,10 @@ class _WorkerHandle:
     sentinel_sent: bool = False
     said_bye: bool = False
     reported_dead: bool = False
+    #: Supervision bookkeeping: when the in-flight task was dispatched
+    #: and when the worker last proved liveness (parent clock).
+    dispatched_at: Optional[float] = None
+    last_beat: Optional[float] = None
 
     @property
     def usable(self) -> bool:
@@ -182,13 +227,44 @@ class _WorkerHandle:
         )
 
 
+def _process_rss_kb(pid: int) -> Optional[int]:
+    """Resident set size of ``pid`` in KB via /proc, or None off-Linux."""
+    try:
+        with open(f"/proc/{pid}/statm", "rb") as stream:
+            pages = int(stream.read().split()[1])
+        return pages * (os.sysconf("SC_PAGE_SIZE") // 1024)
+    except (OSError, ValueError, IndexError):
+        return None
+
+
 class WorkerPool:
-    """A fixed-size pool of forked workers; see the module docstring."""
+    """A fixed-size pool of forked workers; see the module docstring.
+
+    The keyword-only supervision knobs are all off by default (an
+    unsupervised pool behaves exactly as before):
+
+    * ``heartbeat_interval`` — workers run a daemon thread proving
+      liveness this often; ``poll`` declares a worker hung when no beat
+      arrives for ``heartbeat_timeout`` (default 6x the interval).
+    * ``unit_deadline`` — hard per-task wall clock; a worker still
+      running one task past it is killed and the task surfaces as a
+      ``"hang"`` message.
+    * ``rss_limit_kb`` — RSS watchdog; a worker whose resident set
+      exceeds this while running a task is killed the same way.
+    * ``kill_grace`` — seconds between SIGTERM and SIGKILL in
+      :meth:`kill`.
+    """
 
     def __init__(
         self,
         tasks: Optional[Sequence[Callable[[], Any]]] = None,
         jobs: int = 1,
+        *,
+        heartbeat_interval: Optional[float] = None,
+        heartbeat_timeout: Optional[float] = None,
+        unit_deadline: Optional[float] = None,
+        rss_limit_kb: Optional[int] = None,
+        kill_grace: float = 1.0,
     ) -> None:
         if in_worker():
             raise ParallelError("worker pools must not be created in a worker")
@@ -196,8 +272,24 @@ class WorkerPool:
             raise ParallelError("worker pools need the fork start method")
         if jobs < 1:
             raise ParallelError(f"a pool needs at least one worker, got {jobs}")
+        for name, value in (
+            ("heartbeat_interval", heartbeat_interval),
+            ("heartbeat_timeout", heartbeat_timeout),
+            ("unit_deadline", unit_deadline),
+            ("kill_grace", kill_grace),
+        ):
+            if value is not None and value <= 0:
+                raise ParallelError(f"{name} must be positive, got {value}")
         self.jobs = jobs
         self._tasks = list(tasks) if tasks is not None else []
+        self._heartbeat_interval = heartbeat_interval
+        if heartbeat_timeout is None and heartbeat_interval is not None:
+            heartbeat_timeout = 6.0 * heartbeat_interval
+        self._heartbeat_timeout = heartbeat_timeout
+        self._unit_deadline = unit_deadline
+        self._rss_limit_kb = rss_limit_kb
+        self._kill_grace = kill_grace
+        self._last_rss_check = 0.0
         self._context = multiprocessing.get_context("fork")
         self._result_queue = self._context.Queue()
         self._workers: Dict[int, _WorkerHandle] = {}
@@ -209,7 +301,13 @@ class WorkerPool:
         task_queue = self._context.SimpleQueue()
         process = self._context.Process(
             target=_worker_main,
-            args=(worker_id, self._tasks, task_queue, self._result_queue),
+            args=(
+                worker_id,
+                self._tasks,
+                task_queue,
+                self._result_queue,
+                self._heartbeat_interval,
+            ),
             daemon=True,
         )
         process.start()
@@ -221,6 +319,46 @@ class WorkerPool:
         if handle.process.is_alive():
             raise ParallelError(f"worker {worker_id} is alive; not respawning")
         self._spawn(worker_id)
+
+    def revive(self) -> int:
+        """Respawn every dead (non-retired) worker; returns the count.
+
+        This is how a persistent pool recovers full capacity after a
+        crash: :func:`shared_task_pool` calls it on acquisition so one
+        poisoned sweep does not leave every later sweep running on the
+        surviving workers only.
+        """
+        revived = 0
+        for worker_id, handle in list(self._workers.items()):
+            if handle.sentinel_sent or handle.process.is_alive():
+                continue
+            handle.process.join(0.0)  # reap before replacing
+            self._spawn(worker_id)
+            revived += 1
+        return revived
+
+    def kill(self, worker_id: int) -> Optional[int]:
+        """Forcibly stop one worker: SIGTERM, then SIGKILL after grace.
+
+        Returns the task id that was in flight (now orphaned), or None.
+        The handle is marked dead so ``poll`` does not also synthesize a
+        ``"crash"`` for it; the caller decides what the orphaned task
+        means (requeue, fail, quarantine).
+        """
+        handle = self._workers[worker_id]
+        task_id = handle.in_flight
+        handle.in_flight = None
+        handle.dispatched_at = None
+        handle.reported_dead = True
+        if handle.process.is_alive():
+            handle.process.terminate()
+            handle.process.join(self._kill_grace)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
+        else:
+            handle.process.join(0.0)
+        return task_id
 
     def submit(
         self,
@@ -245,6 +383,9 @@ class WorkerPool:
         spec: Any = task_id if call is None else pickle.dumps(call)
         handle.in_flight = task_id
         handle.dispatched += 1
+        now = time.monotonic()
+        handle.dispatched_at = now
+        handle.last_beat = now
         handle.task_queue.put((task_id, spec))
 
     def idle_workers(self) -> List[int]:
@@ -260,8 +401,24 @@ class WorkerPool:
     def alive_count(self) -> int:
         return sum(1 for handle in self._workers.values() if handle.usable)
 
+    def dead_workers(self) -> List[int]:
+        """Worker ids that died (or were killed) and were not retired."""
+        return [
+            handle.worker_id
+            for handle in self._workers.values()
+            if not handle.sentinel_sent and not handle.process.is_alive()
+        ]
+
     def poll(self, timeout: float = 0.1) -> List[Message]:
-        """Drain pending messages, then synthesize crashes for dead workers."""
+        """Drain pending messages, then synthesize crashes and hangs.
+
+        Heartbeat messages are consumed here (they refresh the sender's
+        liveness clock) and never returned.  A worker with a task in
+        flight that blows the per-unit deadline, goes silent past the
+        heartbeat timeout, or trips the RSS watchdog is killed via
+        :meth:`kill` and reported as a ``"hang"`` message whose payload
+        carries the reason and elapsed seconds.
+        """
         raw: List[Tuple[str, int, Optional[int], Any]] = []
         try:
             raw.append(self._result_queue.get(timeout=timeout))
@@ -272,15 +429,26 @@ class WorkerPool:
                 raw.append(self._result_queue.get_nowait())
             except queue_module.Empty:
                 break
-        messages = [Message(*item) for item in raw]
-        for message in messages:
+        messages = []
+        for item in raw:
+            message = Message(*item)
             handle = self._workers.get(message.worker_id)
+            if message.kind == "heartbeat":
+                # Parent clock, not the worker's enqueue time: the queue
+                # feeder may deliver late, but delivery proves liveness.
+                if handle is not None:
+                    handle.last_beat = time.monotonic()
+                continue
+            messages.append(message)
             if handle is None:
                 continue
             if message.kind in ("done", "error") and (
                 handle.in_flight == message.task_id
             ):
                 handle.in_flight = None
+                handle.dispatched_at = None
+            elif message.kind == "start":
+                handle.last_beat = time.monotonic()
             elif message.kind == "bye":
                 handle.said_bye = True
         for handle in self._workers.values():
@@ -293,6 +461,7 @@ class WorkerPool:
                 handle.reported_dead = True
                 task_id = handle.in_flight
                 handle.in_flight = None
+                handle.dispatched_at = None
                 messages.append(
                     Message(
                         "crash",
@@ -301,7 +470,57 @@ class WorkerPool:
                         handle.process.exitcode,
                     )
                 )
+        messages.extend(self._detect_hangs())
         return messages
+
+    def _detect_hangs(self) -> List[Message]:
+        """Kill and report workers that look hung (supervised pools only)."""
+        if (
+            self._unit_deadline is None
+            and self._heartbeat_timeout is None
+            and self._rss_limit_kb is None
+        ):
+            return []
+        now = time.monotonic()
+        check_rss = False
+        if self._rss_limit_kb is not None and (
+            now - self._last_rss_check >= 0.5
+        ):
+            self._last_rss_check = now
+            check_rss = True
+        hangs: List[Message] = []
+        for handle in self._workers.values():
+            if not handle.usable or handle.in_flight is None:
+                continue
+            elapsed = now - (handle.dispatched_at or now)
+            reason = None
+            if (
+                self._unit_deadline is not None
+                and elapsed > self._unit_deadline
+            ):
+                reason = "deadline"
+            elif (
+                self._heartbeat_timeout is not None
+                and handle.last_beat is not None
+                and now - handle.last_beat > self._heartbeat_timeout
+            ):
+                reason = "heartbeat"
+            elif check_rss:
+                rss = _process_rss_kb(handle.process.pid)
+                if rss is not None and rss > self._rss_limit_kb:
+                    reason = "rss"
+            if reason is None:
+                continue
+            task_id = self.kill(handle.worker_id)
+            hangs.append(
+                Message(
+                    "hang",
+                    handle.worker_id,
+                    task_id,
+                    {"reason": reason, "elapsed": elapsed},
+                )
+            )
+        return hangs
 
     def close(self, timeout: float = 10.0) -> None:
         """Send sentinels and join workers (idempotent)."""
@@ -320,6 +539,11 @@ class WorkerPool:
             if handle.process.is_alive():
                 handle.process.terminate()
                 handle.process.join(1.0)
+            if handle.process.is_alive():
+                # A worker ignoring/blocked from SIGTERM (a C-level hang,
+                # a masked handler) must not hold close() hostage.
+                handle.process.kill()
+                handle.process.join(1.0)
         self._closed = True
 
     def terminate(self) -> None:
@@ -331,6 +555,9 @@ class WorkerPool:
                 handle.process.terminate()
         for handle in self._workers.values():
             handle.process.join(1.0)
+            if handle.process.is_alive():
+                handle.process.kill()
+                handle.process.join(1.0)
         self._closed = True
 
     def run_calls(
@@ -440,7 +667,12 @@ _SHARED_POOL_ATEXIT = False
 
 
 def shared_task_pool(jobs: int) -> WorkerPool:
-    """Return the persistent dynamic-task pool, (re)creating on demand."""
+    """Return the persistent dynamic-task pool, (re)creating on demand.
+
+    A pool that lost workers to a crash in an earlier sweep is revived
+    to full strength here — acquisition, not crash time, is when a
+    persistent pool must be healthy.
+    """
     global _SHARED_POOL, _SHARED_POOL_ATEXIT
     if jobs < 1:
         raise ParallelError(f"a pool needs at least one worker, got {jobs}")
@@ -454,6 +686,8 @@ def shared_task_pool(jobs: int) -> WorkerPool:
         if not _SHARED_POOL_ATEXIT:
             _SHARED_POOL_ATEXIT = True
             atexit.register(shutdown_shared_pool)
+    else:
+        pool.revive()
     return pool
 
 

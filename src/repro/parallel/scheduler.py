@@ -125,11 +125,19 @@ class AffinityRouter:
     least-loaded idle one at that moment); later units of the group wait
     for *that* worker even if others are idle — the point of affinity is
     reusing worker-local state, which a different worker does not have.
-    A dead worker's bindings are dropped so its groups rebind.
+    A dead worker's bindings are dropped so its groups rebind: the
+    supervised engine calls :meth:`forget_worker` for every crash *and*
+    hang kill, so a requeued unit rebinds its group to a fresh worker
+    (whose cold state is rebuilt on first use) instead of waiting on a
+    corpse.
     """
 
     def __init__(self) -> None:
         self._binding: Dict[str, int] = {}
+
+    def bindings(self) -> Dict[str, int]:
+        """Snapshot of group -> worker bindings (diagnostics/tests)."""
+        return dict(self._binding)
 
     def pick_worker(self, spec, idle_workers: Sequence[int]) -> Optional[int]:
         """Choose a worker for ``spec`` from ``idle_workers``.

@@ -42,8 +42,10 @@ from repro.errors import BenchmarkError
 #: ``suite/two-size-kernel`` all-geometry sweep unit (epoch-segmented
 #: two-page-size kernel vs the scalar TLB walk).  ``/4`` added
 #: ``suite/multiprog-kernel`` (the multiprogrammed quantum x policy x
-#: geometry grid vs the scalar ``MultiprogrammedTLB`` walk).
-REPORT_SCHEMA = "repro-bench/4"
+#: geometry grid vs the scalar ``MultiprogrammedTLB`` walk).  ``/5``
+#: added ``suite/supervised-sweep`` (the run_units engine with
+#: supervision off vs on, gating supervision overhead at 5%).
+REPORT_SCHEMA = "repro-bench/5"
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:

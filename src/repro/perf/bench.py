@@ -18,14 +18,20 @@ kernel pass per cell vs the scalar ``MultiprogrammedTLB`` walk).  Two
   wall times and the serial/parallel speedup (~1x on a single core, ~N
   on N).  The two sweeps must produce identical results or the unit
   raises.
+* ``suite/supervised-sweep`` — the same sweep shaped as experiment
+  units through ``run_units`` at ``--jobs N``, once with supervision
+  disabled and once with the default supervision (heartbeats, AIMD
+  admission, kill accounting), recording the unsupervised/supervised
+  ratio.  Its baseline threshold is deliberately tight (5%): the
+  supervision layer must stay effectively free on healthy runs.
 * ``suite/result-cache`` — one two-page-size simulation timed against
   an empty content-addressed cache (cold: simulate + store) and again
   against the populated one (warm: pure lookup), recording the
   cold/warm speedup.
 
-Both carry a per-unit regression threshold in the baseline (their
-ratios are noisier than kernel ratios) but are gated by the same
-comparator.
+All three carry a per-unit regression threshold in the baseline (their
+ratios have different noise floors than kernel ratios) but are gated by
+the same comparator.
 
 The suite is *pinned*: unit names, workloads, trace lengths and TLB
 geometries are constants of this module, so reports from different
@@ -194,12 +200,22 @@ SUITE = (
 )
 
 #: Suite-level unit names, in reporting order (after the kernel units).
-SUITE_LEVEL = ("suite/parallel-sweep", "suite/result-cache")
+SUITE_LEVEL = (
+    "suite/parallel-sweep",
+    "suite/supervised-sweep",
+    "suite/result-cache",
+)
 
-#: Regression threshold for the suite-level units: scheduling and
+#: Regression threshold for the noisy suite-level units: scheduling and
 #: filesystem noise dwarf kernel timing noise, so the gate only trips on
 #: a gross loss (parallelism or caching silently turned off).
 SUITE_LEVEL_THRESHOLD = 50.0
+
+#: Threshold for ``suite/supervised-sweep``: supervision must cost less
+#: than this on a healthy run.  The ratio compares two runs of the same
+#: engine in the same process, so its noise floor is far below the other
+#: suite-level units'.
+SUPERVISION_THRESHOLD = 5.0
 
 #: Pinned shapes for ``suite/parallel-sweep``: four page sizes over
 #: three geometries → eight independent stack-pass families.
@@ -261,6 +277,67 @@ def _suite_parallel_sweep(
         "parallel_seconds": parallel_seconds,
         "speedup": serial_seconds / parallel_seconds,
         "threshold_percent": SUITE_LEVEL_THRESHOLD,
+    }
+
+
+def _suite_supervised_sweep(
+    trace: Trace, repeats: int, jobs: int
+) -> Dict[str, Any]:
+    """Measure what default supervision costs on a healthy parallel run.
+
+    The pinned sweep is reshaped into one experiment unit per page size
+    and driven through ``run_units`` twice at the same worker count:
+    once with ``SupervisorConfig(enabled=False)`` (the bare engine) and
+    once with default supervision (heartbeat threads, hang detection,
+    AIMD admission, kill accounting).  The gated figure is the
+    unsupervised/supervised wall-time ratio, capped at 1.0 — the guard
+    is one-sided, only overhead can regress it.
+    """
+    from repro.parallel.supervisor import SupervisorConfig
+    from repro.robustness.executor import UnitSpec, run_units
+
+    sizes = list(_SWEEP_PAGE_SIZES)
+    configs = list(_SWEEP_CONFIGS)
+
+    def make_units() -> List[UnitSpec]:
+        return [
+            UnitSpec(
+                name=f"sweep/{size}",
+                run=lambda s=size: sweep_single_size(trace, [s], configs),
+            )
+            for size in sizes
+        ]
+
+    def run(supervision: Optional[SupervisorConfig]) -> List[Any]:
+        report = run_units(make_units(), jobs=jobs, supervision=supervision)
+        if not report.ok:
+            failed = ", ".join(o.name for o in report.failures)
+            raise BenchmarkError(
+                f"suite/supervised-sweep: units failed during timing: {failed}"
+            )
+        return [outcome.result for outcome in report.outcomes]
+
+    bare = SupervisorConfig(enabled=False)
+    if run(bare) != run(None):
+        raise BenchmarkError(
+            "suite/supervised-sweep: supervised results diverged from the "
+            "unsupervised run — supervision changed the answers"
+        )
+    unsupervised_seconds = _time_call(lambda: run(bare), repeats)
+    supervised_seconds = _time_call(lambda: run(None), repeats)
+    raw_speedup = unsupervised_seconds / supervised_seconds
+    return {
+        "name": "suite/supervised-sweep",
+        "workload": trace.name,
+        "references": len(trace),
+        "repeats": repeats,
+        "kind": "suite",
+        "jobs": jobs,
+        "unsupervised_seconds": unsupervised_seconds,
+        "supervised_seconds": supervised_seconds,
+        "raw_speedup": raw_speedup,
+        "speedup": min(raw_speedup, 1.0),
+        "threshold_percent": SUPERVISION_THRESHOLD,
     }
 
 
@@ -356,6 +433,9 @@ def run_suite(
     units.append(
         _suite_parallel_sweep(traces["matrix300"], repeats, jobs)
     )
+    units.append(
+        _suite_supervised_sweep(traces["matrix300"], repeats, jobs)
+    )
     units.append(_suite_result_cache(traces["espresso"], repeats))
 
     return {
@@ -410,6 +490,13 @@ def _render_report(report: Dict[str, Any]) -> str:
                 f"serial {unit['serial_seconds']:.3f}s "
                 f"jobs={unit['jobs']} {unit['parallel_seconds']:.3f}s "
                 f"speedup {unit['speedup']:.1f}x"
+            )
+        elif "supervised_seconds" in unit:
+            lines.append(
+                f"  {unit['name']:24s} [{unit['workload']}] "
+                f"bare {unit['unsupervised_seconds']:.3f}s "
+                f"supervised {unit['supervised_seconds']:.3f}s "
+                f"ratio {unit['raw_speedup']:.2f}x"
             )
         elif "cold_seconds" in unit:
             lines.append(

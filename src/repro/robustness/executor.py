@@ -29,6 +29,7 @@ from typing import (
 )
 
 from repro.errors import DeadlineExceededError
+from repro.parallel.supervisor import SupervisorConfig
 from repro.robustness.journal import RunJournal
 from repro.robustness.retry import Deadline, RetryPolicy, call_with_retry
 
@@ -85,6 +86,12 @@ class SuiteReport:
     """Every unit's outcome, in execution order."""
 
     outcomes: List[UnitOutcome] = field(default_factory=list)
+    #: Supervision counters from a supervised parallel run (kills,
+    #: requeues, respawns, poisoned units, degraded flag); None for
+    #: serial or unsupervised runs.
+    supervision: Optional[Dict[str, Any]] = None
+    #: Corrupt cache entries discarded (and recomputed) during the run.
+    cache_corrupt_discarded: int = 0
 
     @property
     def succeeded(self) -> List[UnitOutcome]:
@@ -123,6 +130,27 @@ class SuiteReport:
             if outcome.status == STATUS_SKIPPED:
                 detail = " (journaled by a previous run)"
             lines.append(f"  {marker}  {outcome.name}{detail}")
+        if self.cache_corrupt_discarded:
+            lines.append(
+                f"  note: {self.cache_corrupt_discarded} corrupt cache "
+                f"entr{'ies' if self.cache_corrupt_discarded != 1 else 'y'} "
+                f"discarded and recomputed"
+            )
+        if self.supervision:
+            sup = self.supervision
+            interventions = (
+                sup.get("crashes", 0)
+                + sup.get("hangs", 0)
+                + sup.get("respawns", 0)
+            )
+            if interventions or sup.get("degraded") or sup.get("poisoned"):
+                lines.append(
+                    f"  supervision: {sup.get('crashes', 0)} crashes, "
+                    f"{sup.get('hangs', 0)} hangs, "
+                    f"{sup.get('respawns', 0)} respawns, "
+                    f"{len(sup.get('poisoned', []))} quarantined"
+                    + (" [degraded to serial]" if sup.get("degraded") else "")
+                )
         for outcome in self.failures:
             lines.append("")
             lines.append(f"FAILED {outcome.name}: {outcome.error}")
@@ -150,6 +178,7 @@ def run_units(
     clock: Callable[[], float] = time.monotonic,
     sleep: Callable[[float], None] = time.sleep,
     jobs: Optional[int] = None,
+    supervision: Optional[SupervisorConfig] = None,
 ) -> SuiteReport:
     """Run every unit, isolating failures; never raises for a unit's error.
 
@@ -175,9 +204,11 @@ def run_units(
     Ctrl-C actually stops the run — the journal then makes the rerun
     cheap, which is the whole point.
     """
+    from repro.parallel.cache import corrupt_discarded_total
     from repro.parallel.pool import resolve_jobs
 
     worker_count = resolve_jobs(jobs)
+    corrupt_before = corrupt_discarded_total()
     if worker_count > 1 and len(units) > 1:
         from repro.parallel.engine import run_units_parallel
 
@@ -197,6 +228,7 @@ def run_units(
             journal_payload=journal_payload,
             clock=clock,
             sleep=sleep,
+            supervision=supervision,
         )
     if any(spec.needs or spec.affinity is not None for spec in units):
         from repro.parallel.scheduler import validate_units
@@ -349,6 +381,7 @@ def run_units(
                 attempts=attempts,
             )
         )
+    report.cache_corrupt_discarded = corrupt_discarded_total() - corrupt_before
     return report
 
 

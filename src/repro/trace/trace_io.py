@@ -237,7 +237,11 @@ class SharedTraceHandle:
 
     A handle is a few hundred bytes however long the trace is; it is the
     *only* thing that crosses the task pipe.  ``fingerprint`` rides
-    along so workers never recompute the SHA-256 the parent already has.
+    along so workers never recompute the SHA-256 the parent already has;
+    ``crc`` (CRC32 of the segment payload at share time) lets a worker
+    attach *verify* the bytes it maps — shared memory has no filesystem
+    checksums, so a scribbled segment would otherwise simulate garbage
+    silently.
     """
 
     shm_name: str
@@ -245,6 +249,7 @@ class SharedTraceHandle:
     name: str
     refs_per_instruction: float
     fingerprint: str
+    crc: int = 0
 
 
 #: Parent-side: fingerprint -> (SharedMemory, handle), so the same trace
@@ -317,12 +322,14 @@ def share_trace(trace: Trace) -> SharedTraceHandle:
         )
         kinds[:] = trace.kinds
         del addresses, kinds  # release buffer views before any close()
+    crc = zlib.crc32(bytes(shm.buf[: payload or 1])) & 0xFFFFFFFF
     handle = SharedTraceHandle(
         shm_name=shm.name,
         count=count,
         name=trace.name,
         refs_per_instruction=trace.refs_per_instruction,
         fingerprint=fingerprint,
+        crc=crc,
     )
     _SHARED_SEGMENTS[fingerprint] = (shm, handle)
     if not _SHM_ATEXIT:
@@ -345,13 +352,33 @@ def attach_shared_trace(handle: SharedTraceHandle) -> Trace:
         return cached[1]
     # The sharing process already holds a parent-side mapping: reuse it
     # rather than re-attach (also makes jobs=1 paths segment-free).
+    from repro.parallel.pool import in_worker
+
     owned = _SHARED_SEGMENTS.get(handle.fingerprint)
+    owner = owned is not None and owned[1].shm_name == handle.shm_name
     try:
-        if owned is not None and owned[1].shm_name == handle.shm_name:
+        if owner:
             shm = owned[0]
         else:
             shm = shared_memory.SharedMemory(name=handle.shm_name)
             _tracker_unregister(shm)
+        if handle.crc and (in_worker() or not owner):
+            # Worker-side attach (fresh, or a forked copy of the
+            # parent's own mapping — same shared pages either way):
+            # verify the payload actually is what was shared before
+            # simulating from it.  The sharing parent's direct reuse
+            # needs no check — that is the memory the CRC came from.
+            payload = handle.count * 5
+            actual = zlib.crc32(bytes(shm.buf[: payload or 1])) & 0xFFFFFFFF
+            if actual != handle.crc:
+                if not owner:
+                    _quiet_close(shm)
+                raise TraceIntegrityError(
+                    f"shared trace segment {handle.shm_name!r} "
+                    f"({handle.name}): payload CRC {actual:#010x} != "
+                    f"shared {handle.crc:#010x}; the segment was "
+                    f"corrupted after sharing"
+                )
     except FileNotFoundError:
         raise TraceError(
             f"shared trace segment {handle.shm_name!r} is gone; the "

@@ -10,8 +10,10 @@ import pytest
 
 from repro.errors import CacheError
 from repro.parallel.cache import (
+    CacheIntegrityWarning,
     SimulationCache,
     canonical_key,
+    corrupt_discarded_total,
     default_cache_root,
 )
 from repro.policy.promotion import DynamicPromotionPolicy
@@ -96,7 +98,14 @@ class TestSingleSize:
         (entry,) = list(cache.root.rglob("*.json"))
         faultinject.flip_byte(entry, entry.stat().st_size // 2, mask=0x40)
 
-        recomputed = run_single_size(trace, SCHEME, CONFIG, cache=cache)
+        # The discard is never silent: a warning names the entry, and
+        # the per-process counter feeds the sweep summary.
+        before = corrupt_discarded_total()
+        with pytest.warns(
+            CacheIntegrityWarning, match="corrupt result-cache entry"
+        ):
+            recomputed = run_single_size(trace, SCHEME, CONFIG, cache=cache)
+        assert corrupt_discarded_total() - before == 1
         assert recomputed.to_payload() == first.to_payload()
         assert cache.stats.discards == 1
         assert cache.stats.stores == 2  # the repaired entry was rewritten
