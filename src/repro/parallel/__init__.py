@@ -4,8 +4,10 @@ Three pieces, designed to compose with :mod:`repro.robustness` rather
 than replace it:
 
 * :mod:`repro.parallel.pool` — a fork-based worker pool with an explicit
-  message protocol (start/done/error/event/crash), one outstanding task
-  per worker so a dying worker loses exactly the unit it was running.
+  message protocol (start/done/error/event/crash), batched dispatch with
+  per-unit reporting so a dying worker loses exactly the unit it was
+  running, and a process-wide persistent pool (:func:`shared_task_pool`
+  / :func:`lease_task_pool`) so fork cost is paid once per process.
 * :mod:`repro.parallel.scheduler` — dependency validation, stable
   topological ordering and affinity routing, so units that share a stack
   pass land in the same worker.
@@ -25,9 +27,13 @@ failure isolation behave exactly as in the serial path.
 
 from repro.parallel.cache import SimulationCache, canonical_key
 from repro.parallel.pool import (
+    PoolLease,
     in_worker,
+    lease_task_pool,
     parallel_map,
     resolve_jobs,
+    shared_task_pool,
+    shutdown_shared_pool,
 )
 from repro.parallel.supervisor import (
     AIMDController,
@@ -36,10 +42,14 @@ from repro.parallel.supervisor import (
 
 __all__ = [
     "AIMDController",
+    "PoolLease",
     "SimulationCache",
     "SupervisorConfig",
     "canonical_key",
     "in_worker",
+    "lease_task_pool",
     "parallel_map",
     "resolve_jobs",
+    "shared_task_pool",
+    "shutdown_shared_pool",
 ]

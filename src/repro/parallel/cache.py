@@ -124,6 +124,12 @@ class CacheStats:
     errors: int = 0
 
 
+#: Memoized :meth:`SimulationCache.from_environment` instances, keyed by
+#: stringified root.  One instance per root means hit/miss stats
+#: accumulate across callers instead of resetting per lookup.
+_ENV_CACHES: Dict[str, "SimulationCache"] = {}
+
+
 @dataclass
 class SimulationCache:
     """A content-addressed result store rooted at ``root``."""
@@ -153,12 +159,23 @@ class SimulationCache:
         """The process-default cache, or None when disabled.
 
         ``REPRO_CACHE=0`` (or ``off``/``no``/``false``) disables caching;
-        ``REPRO_CACHE_DIR`` relocates it.
+        ``REPRO_CACHE_DIR`` relocates it.  Instances are memoized per
+        root: hot paths (a sweep per bench repeat, a unit per
+        experiment) call this freely without re-running ``mkdir -p``
+        and losing the running hit/miss stats every time.  The memo is
+        keyed on the *resolved* root, so flipping ``REPRO_CACHE_DIR``
+        mid-process still yields the right cache.
         """
         flag = os.environ.get("REPRO_CACHE", "1").strip().lower()
         if flag in ("0", "off", "no", "false"):
             return None
-        return cls.open(default_cache_root())
+        root = default_cache_root()
+        key = str(root)
+        cached = _ENV_CACHES.get(key)
+        if cached is None:
+            cached = cls.open(root)
+            _ENV_CACHES[key] = cached
+        return cached
 
     def _entry_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"

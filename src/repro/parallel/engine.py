@@ -19,24 +19,54 @@ recorded FAILED while the rest of the suite keeps running on the
 surviving (or respawned) workers.  Units whose declared dependencies
 failed are failed without running.
 
+Three throughput decisions (the difference between a correctness demo
+and an engine that beats serial):
+
+* **Pool reuse.**  When every unit is picklable and the retry plumbing
+  uses the real clock, units ship to the persistent
+  :func:`~repro.parallel.pool.shared_task_pool` under a
+  :class:`~repro.parallel.pool.PoolLease` — fork cost is paid once per
+  process, and the supervisor operates on a pool it does not own
+  (kills and respawns against shared members; the lease restores the
+  pool's knobs and quiesces leftovers on release).  Unpicklable units
+  (closures over traces) fall back to a private fork-inherited
+  registry pool exactly as before.
+* **Batched dispatch.**  Independent units are packed into batches
+  (one queue round-trip each, sized by
+  :func:`~repro.parallel.scheduler.plan_batch_size` and the
+  per-unit cost model) while the worker still reports
+  start/done/error *per unit* — so journal records, cache entries and
+  supervision are per-unit, and a poisoned unit quarantines alone
+  while its batch siblings come back as ``"requeue"`` messages.
+* **Zero-copy results.**  Large numpy payloads return through
+  shared-memory segments (:mod:`repro.parallel.shm_results`); the
+  pipe carries a descriptor, the parent does one memcpy per array.
+
 Supervision (on by default, see
 :class:`~repro.parallel.supervisor.SupervisorConfig`) layers four
 behaviors on top:
 
-* a killed worker's in-flight unit is **requeued**, not failed — until
-  the unit has killed ``max_worker_kills`` workers, when it is
-  quarantined as a :class:`~repro.errors.PoisonUnitError`;
+* a killed worker's in-flight unit is **requeued at the back of the
+  dispatch order** (a suspect must not hog every kill opportunity), not
+  failed — until the unit has killed ``max_worker_kills`` workers, when
+  it is quarantined as a :class:`~repro.errors.PoisonUnitError`;
 * hung workers (blown ``unit_deadline``, lost heartbeat, RSS trip)
   surface as ``"hang"`` messages and are treated like crashes;
 * respawns back off exponentially and draw from a bounded budget;
   exhausting it falls back to **degraded-serial** execution in the
   parent (or raises, with ``degraded_ok=False``);
-* an AIMD window throttles how many units are in flight at once.
+* an AIMD window throttles how many workers hold batches at once.
+
+Every unit that runs gets a timing breakdown (``dispatch_s`` /
+``queue_wait_s`` / ``run_s`` / ``result_transfer_s`` / ``flush_s``) in
+``report.timing`` — orchestration overhead must be diagnosable from
+the report alone.
 """
 
 from __future__ import annotations
 
 import pickle
+import time as time_module
 import traceback as traceback_module
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple, Type
 
@@ -46,7 +76,8 @@ from repro.errors import (
     PoisonUnitError,
     WorkerCrashError,
 )
-from repro.parallel import scheduler
+from repro.parallel import scheduler, shm_results
+from repro.parallel import pool as pool_module
 from repro.parallel.cache import corrupt_discarded_total
 from repro.parallel.pool import (
     WorkerPool,
@@ -59,6 +90,90 @@ from repro.robustness.retry import Deadline, RetryPolicy, call_with_retry
 
 #: How long one poll waits for worker messages before rechecking state.
 _POLL_SECONDS = 0.05
+
+#: A unit whose pickled task exceeds this rides the private registry
+#: pool instead — shipping megabytes per dispatch would hand back the
+#: round-trip savings the shared pool exists to capture.
+_MAX_SHARED_TASK_BYTES = 512 * 1024
+
+#: The five per-unit timing phases surfaced in ``report.timing``.
+_TIMING_KEYS = (
+    "dispatch_s",
+    "queue_wait_s",
+    "run_s",
+    "result_transfer_s",
+    "flush_s",
+)
+
+
+def _run_unit_remote(run, policy, deadline_seconds, retriable, label):
+    """Worker-side body of one unit shipped to the shared pool.
+
+    The shared pool's workers were forked before this suite existed, so
+    everything arrives pickled: the unit callable, the retry policy,
+    the deadline budget.  Retry notices travel back as events exactly
+    like the registry-task path.  Only used when the engine verified
+    the caller's clock/sleep are the real ones — the rebuilt
+    :class:`Deadline` here uses the defaults.
+    """
+    deadline = Deadline(deadline_seconds)
+
+    def notify(attempt, error, delay):
+        emit_event(("retry", attempt, type(error).__name__, str(error), delay))
+
+    return call_with_retry(
+        run,
+        policy=policy,
+        deadline=deadline,
+        retriable=retriable,
+        on_retry=notify,
+        label=label,
+    )
+
+
+def _shared_task_blobs(
+    units: Sequence,
+    staged: Sequence,
+    retry_policy: RetryPolicy,
+    deadline_seconds: Optional[float],
+    retriable: Tuple[Type[BaseException], ...],
+    clock: Callable[[], float],
+    sleep: Callable[[float], None],
+) -> Optional[List[Optional[bytes]]]:
+    """Pre-pickle every runnable unit for the shared pool, or None.
+
+    Returns None — meaning "use a private registry pool" — when any
+    unit refuses to pickle (closures over traces/configs), when a blob
+    is unreasonably large, or when the caller injected a fake clock or
+    sleep (the shared path rebuilds deadlines worker-side with the real
+    clock, which would break virtual-time tests).
+    """
+    if clock is not time_module.monotonic or sleep is not time_module.sleep:
+        return None
+    blobs: List[Optional[bytes]] = [None] * len(units)
+    for index, spec in enumerate(units):
+        if staged[index] is not None:
+            continue
+        try:
+            blob = pickle.dumps(
+                (
+                    _run_unit_remote,
+                    (
+                        spec.run,
+                        retry_policy,
+                        deadline_seconds,
+                        retriable,
+                        spec.name,
+                    ),
+                ),
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        except Exception:  # noqa: BLE001 - any pickling failure → private pool
+            return None
+        if len(blob) > _MAX_SHARED_TASK_BYTES:
+            return None
+        blobs[index] = blob
+    return blobs
 
 
 def run_units_parallel(
@@ -79,6 +194,7 @@ def run_units_parallel(
     clock: Callable[[], float],
     sleep: Callable[[float], None],
     supervision: Optional[SupervisorConfig] = None,
+    batch_size: Optional[int] = None,
 ):
     """Parallel twin of the serial loop in ``robustness.executor``.
 
@@ -87,6 +203,8 @@ def run_units_parallel(
     be invoked directly.  ``supervision=None`` means default supervision
     (heartbeats, requeue-then-quarantine, AIMD admission); pass
     ``SupervisorConfig(enabled=False)`` for the bare engine.
+    ``batch_size=None`` sizes batches from the scheduler's cost model;
+    an explicit value forces that many units per dispatch.
     """
     from repro.robustness.executor import (
         STATUS_FAILED,
@@ -98,6 +216,14 @@ def run_units_parallel(
 
     scheduler.validate_units(units)
     topo = scheduler.topological_order(units)
+    #: Dispatch preference order.  Starts as the topological order; a
+    #: unit whose worker was killed is *demoted* to the back on requeue,
+    #: so a suspected-poison unit cannot hog every kill opportunity
+    #: (burning the whole respawn budget, and its own quarantine
+    #: allowance, while innocent units starve behind it).  Demotion
+    #: never violates dependencies: needs always sit earlier than the
+    #: unit did, so moving it later keeps them satisfied.
+    dispatch_order = list(topo)
     count = len(units)
 
     #: Per-unit staged outcome, filled as units finish, flushed in
@@ -146,24 +272,93 @@ def run_units_parallel(
         else None
     )
     pool: Optional[WorkerPool] = None
+    lease: Optional[pool_module.PoolLease] = None
+    blobs: Optional[List[Optional[bytes]]] = None
     if runnable:
-        pool_options: Dict[str, Any] = {}
-        if supervisor is not None:
-            pool_options = dict(
-                heartbeat_interval=config.heartbeat_interval,
-                heartbeat_timeout=config.heartbeat_timeout,
-                unit_deadline=config.unit_deadline,
-                rss_limit_kb=config.rss_limit_kb,
-                kill_grace=config.kill_grace,
+        blobs = _shared_task_blobs(
+            units, staged, retry_policy, deadline_seconds, retriable, clock, sleep
+        )
+        if blobs is not None:
+            lease = pool_module.try_lease_shared_pool(worker_count)
+            if lease is None:
+                blobs = None
+        if lease is not None:
+            pool = lease.pool
+            if supervisor is not None:
+                heartbeat_timeout = None
+                if config.heartbeat_interval is not None:
+                    heartbeat_timeout = config.heartbeat_timeout
+                    if (
+                        heartbeat_timeout is None
+                        and pool.heartbeat_interval is not None
+                    ):
+                        # Default 6x, against the *pool's* baked-in
+                        # interval — the config's interval cannot be
+                        # re-forked into shared workers.
+                        heartbeat_timeout = 6.0 * pool.heartbeat_interval
+                pool.configure_supervision(
+                    heartbeat_timeout=heartbeat_timeout,
+                    unit_deadline=config.unit_deadline,
+                    rss_limit_kb=config.rss_limit_kb,
+                    kill_grace=config.kill_grace,
+                )
+        else:
+            pool_options: Dict[str, Any] = {}
+            if supervisor is not None:
+                pool_options = dict(
+                    heartbeat_interval=config.heartbeat_interval,
+                    heartbeat_timeout=config.heartbeat_timeout,
+                    unit_deadline=config.unit_deadline,
+                    rss_limit_kb=config.rss_limit_kb,
+                    kill_grace=config.kill_grace,
+                )
+            pool = WorkerPool(
+                [make_task(spec) for spec in units],
+                worker_count,
+                **pool_options,
             )
-        pool = WorkerPool(
-            [make_task(spec) for spec in units], worker_count, **pool_options
+    if batch_size is not None:
+        batch_cap = max(1, int(batch_size))
+        cost_budget: Optional[float] = None
+    else:
+        batch_cap = scheduler.plan_batch_size(runnable, worker_count)
+        cost_budget = (
+            scheduler.plan_batch_budget(
+                [
+                    scheduler.unit_cost(spec)
+                    for index, spec in enumerate(units)
+                    if staged[index] is None
+                ],
+                worker_count,
+            )
+            if batch_cap > 1
+            else None
         )
     router = scheduler.AffinityRouter()
     report = SuiteReport()
     # Parent-side discards (cache hits checked in the parent, degraded
     # mode); worker-side ones arrive as "cache_corrupt" events.
     corrupt_before = corrupt_discarded_total()
+
+    engine_started = time_module.monotonic()
+    submitted_at: List[Optional[float]] = [None] * count
+    unit_timing: Dict[str, Dict[str, float]] = {}
+
+    def record_timing(
+        index: int,
+        *,
+        run_s: float,
+        queue_wait_s: float = 0.0,
+        result_transfer_s: float = 0.0,
+    ) -> None:
+        sent = submitted_at[index]
+        unit_timing[units[index].name] = {
+            "dispatch_s": max(0.0, (sent or engine_started) - engine_started),
+            "queue_wait_s": queue_wait_s,
+            "run_s": run_s,
+            "result_transfer_s": result_transfer_s,
+            "flush_s": 0.0,
+        }
 
     def stage_failure(
         index: int,
@@ -301,6 +496,15 @@ def run_units_parallel(
             on_failure(spec, stage["exception"])
         return True
 
+    def flush_timed(index: int) -> bool:
+        flush_started = time_module.monotonic()
+        try:
+            return flush(index)
+        finally:
+            timing = unit_timing.get(units[index].name)
+            if timing is not None:
+                timing["flush_s"] = time_module.monotonic() - flush_started
+
     def handle_kill(index: int, worker_id: int, reason: str, error_text: str):
         """A worker kill took unit ``index`` with it: requeue or poison.
 
@@ -314,6 +518,10 @@ def run_units_parallel(
             supervisor.requeues += 1
             dispatched[index] = False
             events[index] = []  # the retry notices died with the attempt
+            # Send the suspect to the back of the dispatch order: other
+            # units get their turn (and their own workers) first.
+            dispatch_order.remove(index)
+            dispatch_order.append(index)
             return
         name = units[index].name
         supervisor.poisoned_units.append(name)
@@ -362,6 +570,7 @@ def run_units_parallel(
             attempts = attempts_seen["count"] + (
                 0 if isinstance(error, DeadlineExceededError) else 1
             )
+            elapsed = clock() - started
             stage_failure(
                 index,
                 error_text=f"{type(error).__name__}: {error}",
@@ -370,17 +579,20 @@ def run_units_parallel(
                         type(error), error, error.__traceback__
                     )
                 ),
-                elapsed=clock() - started,
+                elapsed=elapsed,
                 attempts=attempts,
                 exception=error,
             )
+            record_timing(index, run_s=elapsed)
             return
+        elapsed = clock() - started
         staged[index] = {
             "kind": "ok",
             "result": result,
             "attempts": attempts,
-            "elapsed": clock() - started,
+            "elapsed": elapsed,
         }
+        record_timing(index, run_s=elapsed)
 
     flushed = 0
     stop = False
@@ -417,7 +629,7 @@ def run_units_parallel(
                     )
                 else:
                     run_inline(flushed)
-            failed = flush(flushed)
+            failed = flush_timed(flushed)
             flushed += 1
             if failed and fail_fast:
                 stop = True
@@ -446,7 +658,7 @@ def run_units_parallel(
                         exception=error,
                     )
             while flushed < count and staged[flushed] is not None:
-                failed = flush(flushed)
+                failed = flush_timed(flushed)
                 flushed += 1
                 if failed and fail_fast:
                     stop = True
@@ -457,31 +669,51 @@ def run_units_parallel(
                 raise ParallelError(
                     "internal: unfinished units but no worker pool"
                 )
-            in_flight = sum(
-                1
-                for index in range(count)
-                if dispatched[index] and staged[index] is None
-            )
-            for index in topo:
-                if staged[index] is not None or dispatched[index]:
-                    continue
-                if supervisor is not None and in_flight >= supervisor.window():
-                    break  # AIMD admission: pool is shedding load
-                spec = units[index]
-                if any(
-                    need not in flushed_ok
-                    for need in scheduler.unit_needs(spec)
-                ):
-                    continue
-                idle = pool.idle_workers()
-                if not idle:
+            busy = pool.busy_count()
+            for worker_id in pool.idle_workers():
+                # The AIMD window admits *workers holding batches*, not
+                # individual units — at batch size 1 the two are the
+                # same thing, which is what the window's jobs-sized cap
+                # was calibrated against.
+                if supervisor is not None and busy >= supervisor.window():
                     break
-                worker_id = router.pick_worker(spec, idle)
-                if worker_id is None:
+                batch: List[int] = []
+                batch_cost = 0.0
+                for index in dispatch_order:
+                    if len(batch) >= batch_cap:
+                        break
+                    if (
+                        cost_budget is not None
+                        and batch
+                        and batch_cost >= cost_budget
+                    ):
+                        break
+                    if staged[index] is not None or dispatched[index]:
+                        continue
+                    spec = units[index]
+                    if any(
+                        need not in flushed_ok
+                        for need in scheduler.unit_needs(spec)
+                    ):
+                        continue
+                    if router.pick_worker(spec, (worker_id,)) != worker_id:
+                        continue
+                    batch.append(index)
+                    dispatched[index] = True
+                    batch_cost += scheduler.unit_cost(spec)
+                if not batch:
                     continue
-                pool.submit(worker_id, index)
-                dispatched[index] = True
-                in_flight += 1
+                now = time_module.monotonic()
+                for index in batch:
+                    submitted_at[index] = now
+                pool.submit_batch(
+                    worker_id,
+                    [
+                        (index, None if blobs is None else blobs[index])
+                        for index in batch
+                    ],
+                )
+                busy += 1
             for message in pool.poll(_POLL_SECONDS):
                 index = message.task_id
                 if message.kind == "event":
@@ -489,9 +721,54 @@ def run_units_parallel(
                         report.cache_corrupt_discarded += 1
                     elif index is not None and message.payload[0] == "retry":
                         events[index].append(message.payload)
+                elif message.kind == "requeue":
+                    # A batch sibling of a dead worker: it never ran, so
+                    # it is not charged a kill — just dispatched again.
+                    if index is not None and staged[index] is None:
+                        dispatched[index] = False
+                        events[index] = []
+                        submitted_at[index] = None
+                        if supervisor is not None:
+                            supervisor.sibling_requeues += 1
                 elif message.kind == "done" and staged[index] is None:
-                    blob, elapsed = message.payload
-                    result, attempts = pickle.loads(blob)
+                    blob, elapsed, meta = message.payload
+                    received = time_module.monotonic()
+                    try:
+                        result, attempts = shm_results.decode_result(
+                            blob, meta.get("shm")
+                        )
+                    except ParallelError as error:
+                        stage_failure(
+                            index,
+                            error_text=f"{type(error).__name__}: {error}",
+                            traceback_text=None,
+                            elapsed=elapsed,
+                            attempts=len(events[index]) + 1,
+                            exception=error,
+                        )
+                        continue
+                    decode_s = time_module.monotonic() - received
+                    sent = submitted_at[index]
+                    started_at = meta.get("started_at")
+                    sent_at = meta.get("sent_at")
+                    record_timing(
+                        index,
+                        run_s=meta.get("run_s", elapsed),
+                        queue_wait_s=(
+                            max(0.0, started_at - sent)
+                            if sent is not None and started_at is not None
+                            else 0.0
+                        ),
+                        result_transfer_s=(
+                            (
+                                max(0.0, received - sent_at)
+                                if sent_at is not None
+                                else 0.0
+                            )
+                            + meta.get("encode_s", 0.0)
+                            + decode_s
+                        ),
+                    )
                     staged[index] = {
                         "kind": "ok",
                         "result": result,
@@ -516,6 +793,7 @@ def run_units_parallel(
                         attempts=attempts,
                         exception=reconstruct_error(type_name, text, remote_tb),
                     )
+                    record_timing(index, run_s=elapsed)
                     if supervisor is not None:
                         # An ordinary reported error is a *healthy*
                         # worker doing its job; only kills shrink the
@@ -604,17 +882,33 @@ def run_units_parallel(
                         "remaining units not run "
                         "(degraded_ok would fall back to serial)"
                     )
-                pool.terminate()
+                if lease is None:
+                    pool.terminate()
+                else:
+                    # A borrowed pool is not ours to tear down; the
+                    # lease quiesces and revives it on release.
+                    lease.dirty = True
                 run_degraded_serial()
         clean = True
     finally:
-        if pool is not None:
+        if lease is not None:
+            lease.dirty = lease.dirty or not clean or stop
+            lease.release()
+        elif pool is not None:
             if clean and not stop:
                 pool.close()
             else:
                 pool.terminate()
     if supervisor is not None:
         report.supervision = supervisor.stats()
+    if unit_timing:
+        report.timing = {
+            "units": unit_timing,
+            "totals": {
+                key: sum(timing[key] for timing in unit_timing.values())
+                for key in _TIMING_KEYS
+            },
+        }
     report.cache_corrupt_discarded += (
         corrupt_discarded_total() - corrupt_before
     )

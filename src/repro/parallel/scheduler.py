@@ -118,6 +118,72 @@ def transitive_dependents(units: Sequence, root: str) -> Set[str]:
     return affected
 
 
+#: Target number of dispatch round-trips per worker for a whole run.
+#: Each round-trip costs roughly a pipe write + wakeup + pipe read
+#: (~1ms of parent/worker ping-pong); packing a run into ~8 batches per
+#: worker makes that overhead a rounding error while still leaving
+#: enough batches for the least-loaded-first scheduler to balance load.
+DEFAULT_DISPATCHES_PER_WORKER = 8
+
+
+def unit_cost(spec) -> float:
+    """Relative cost estimate of one unit (units without the field: 1.0).
+
+    The cost model is deliberately crude — estimated references times
+    geometry count, normalized however the caller likes — because it
+    only steers *batch packing*, not correctness: a bad estimate costs
+    some load imbalance, never a wrong result.
+    """
+    cost = getattr(spec, "cost", None)
+    if cost is None:
+        return 1.0
+    try:
+        value = float(cost)
+    except (TypeError, ValueError):
+        return 1.0
+    return value if value > 0 else 1.0
+
+
+def plan_batch_size(
+    count: int,
+    workers: int,
+    *,
+    target_per_worker: int = DEFAULT_DISPATCHES_PER_WORKER,
+) -> int:
+    """How many units to pack per dispatch for ``count`` units.
+
+    Sized so the run makes about ``workers * target_per_worker``
+    dispatches total: small runs (fewer units than dispatch slots) get
+    batch size 1 — batching them would serialize work that could
+    overlap — and only genuinely wide fan-outs amortize the round-trip.
+    """
+    if count <= 0 or workers <= 0:
+        return 1
+    slots = max(1, workers * target_per_worker)
+    return max(1, -(-count // slots))
+
+
+def plan_batch_budget(
+    costs: Sequence[float],
+    workers: int,
+    *,
+    target_per_worker: int = DEFAULT_DISPATCHES_PER_WORKER,
+) -> Optional[float]:
+    """Cost ceiling per batch, or None when cost cannot steer packing.
+
+    A batch stops accepting units once its accumulated
+    :func:`unit_cost` reaches ``total_cost / (workers * target)`` —
+    the even-split share of one dispatch slot — so one expensive unit
+    does not drag a batch of cheap siblings behind it.
+    """
+    if workers <= 0 or not costs:
+        return None
+    total = float(sum(costs))
+    if total <= 0:
+        return None
+    return total / max(1, workers * target_per_worker)
+
+
 class AffinityRouter:
     """Sticky unit-to-worker routing.
 
@@ -165,9 +231,13 @@ class AffinityRouter:
 
 __all__ = [
     "AffinityRouter",
+    "DEFAULT_DISPATCHES_PER_WORKER",
+    "plan_batch_budget",
+    "plan_batch_size",
     "topological_order",
     "transitive_dependents",
     "unit_affinity",
+    "unit_cost",
     "unit_needs",
     "validate_units",
 ]

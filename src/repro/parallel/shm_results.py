@@ -1,0 +1,268 @@
+"""Zero-copy result return for pool workers (shared-memory transport).
+
+Results used to come back from workers as one ``pickle`` blob over the
+result queue's pipe.  For the payloads that matter — depth histograms,
+per-geometry count arrays, miss curves — most of those bytes are numpy
+array data, serialized byte-for-byte into the pickle stream, chunked
+through a pipe, and deserialized again in the parent.
+
+This module splits the two concerns, mirroring the transport pattern of
+:func:`repro.trace.trace_io.share_trace`:
+
+* **Large arrays travel as shared memory.**  A custom pickler diverts
+  every ndarray of at least :data:`MIN_ARRAY_BYTES` out of the pickle
+  stream into one per-result ``SharedMemory`` segment (one ``memcpy``
+  in the worker), leaving a tiny persistent-id placeholder behind.
+* **The pipe carries only a descriptor.**  The remaining pickle blob
+  plus a :class:`ResultDescriptor` (segment name, per-array
+  offset/dtype/shape, CRC32) — a few hundred bytes however large the
+  arrays are.
+* **The parent copies out and unlinks.**  :func:`decode_result`
+  attaches the segment, verifies the CRC, materializes the arrays with
+  one ``memcpy`` each, rebuilds the object graph, and unlinks the
+  segment — ownership passes from worker to parent exactly once, so a
+  result that is *received* can never leak its segment.
+
+Failure handling is deliberately one-sided: if the worker cannot get a
+segment (``/dev/shm`` full, platform limits) it silently falls back to
+a plain pickle blob — shared memory can only make transport faster,
+never break it.  A CRC mismatch on the parent side, by contrast, is a
+hard :class:`~repro.errors.ParallelError`: scribbled result bytes must
+never be mistaken for a simulation answer.
+"""
+
+from __future__ import annotations
+
+import io
+import pickle
+import zlib
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ParallelError
+
+#: Arrays smaller than this stay inline in the pickle blob: a segment
+#: (shm_open + mmap + unlink) costs more than piping a few KB.
+MIN_ARRAY_BYTES = 64 * 1024
+
+#: Array offsets inside the segment are aligned to this many bytes so
+#: every reattached view is aligned for any numeric dtype.
+_ALIGN = 16
+
+
+@dataclass(frozen=True)
+class ResultDescriptor:
+    """Everything the parent needs to rebuild a result's diverted arrays.
+
+    ``arrays`` holds one ``(offset, dtype_str, shape)`` triple per
+    diverted ndarray, in persistent-id order (the order the pickler saw
+    them).  ``crc`` is the CRC32 of the whole segment payload at encode
+    time — shared memory has no filesystem checksums, so a corrupted
+    segment must be caught here, not simulated from.
+    """
+
+    shm_name: str
+    arrays: Tuple[Tuple[int, str, Tuple[int, ...]], ...]
+    total_bytes: int
+    crc: int
+
+
+class _DivertingPickler(pickle.Pickler):
+    """Pickler that pulls large ndarrays out of the stream by index."""
+
+    def __init__(self, stream: io.BytesIO) -> None:
+        super().__init__(stream, protocol=pickle.HIGHEST_PROTOCOL)
+        self.arrays: list = []
+
+    def persistent_id(self, obj: Any) -> Optional[int]:
+        if (
+            type(obj) is np.ndarray
+            and obj.dtype != object
+            and obj.nbytes >= MIN_ARRAY_BYTES
+        ):
+            self.arrays.append(np.ascontiguousarray(obj))
+            return len(self.arrays) - 1
+        return None
+
+
+class _AttachingUnpickler(pickle.Unpickler):
+    """Unpickler that resolves persistent ids against rebuilt arrays."""
+
+    def __init__(self, stream: io.BytesIO, arrays) -> None:
+        super().__init__(stream)
+        self._arrays = arrays
+
+    def persistent_load(self, pid: Any) -> Any:
+        try:
+            return self._arrays[pid]
+        except (TypeError, IndexError):
+            raise ParallelError(
+                f"result blob references unknown diverted array {pid!r}"
+            ) from None
+
+
+def _creator_unregister(shm) -> None:
+    """Hand segment ownership to the parent (see trace_io's twin helper).
+
+    The worker *created* the segment, so the resource tracker would
+    unlink it when the worker exits — possibly before the parent has
+    decoded the result it describes.  The parent unlinks in
+    :func:`decode_result` / :func:`discard_result` instead.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:  # noqa: BLE001 - best effort, platform-dependent
+        pass
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def encode_result(result: Any) -> Tuple[bytes, Optional[ResultDescriptor]]:
+    """Serialize ``result``; large arrays go to one shared segment.
+
+    Returns ``(blob, descriptor)`` where ``descriptor`` is None when no
+    array met the size threshold (or no segment could be created) — in
+    that case ``blob`` is an ordinary self-contained pickle.
+    """
+    stream = io.BytesIO()
+    pickler = _DivertingPickler(stream)
+    pickler.dump(result)
+    arrays = pickler.arrays
+    if not arrays:
+        return stream.getvalue(), None
+
+    offsets = []
+    offset = 0
+    for array in arrays:
+        offset = _aligned(offset)
+        offsets.append(offset)
+        offset += array.nbytes
+    total = offset
+
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    except (OSError, ValueError):
+        # No segment to be had: fall back to the plain pickle path.
+        return pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL), None
+    try:
+        specs = []
+        for array, start in zip(arrays, offsets):
+            view = np.frombuffer(
+                shm.buf, dtype=array.dtype, count=array.size, offset=start
+            )
+            view[:] = array.reshape(-1)
+            specs.append((start, array.dtype.str, tuple(array.shape)))
+            del view
+        payload = shm.buf[: max(1, total)]
+        crc = zlib.crc32(payload) & 0xFFFFFFFF
+        payload.release()
+        descriptor = ResultDescriptor(
+            shm_name=shm.name,
+            arrays=tuple(specs),
+            total_bytes=total,
+            crc=crc,
+        )
+    except BaseException:
+        try:
+            shm.unlink()
+        except OSError:
+            pass
+        shm.close()
+        raise
+    _creator_unregister(shm)
+    shm.close()
+    return stream.getvalue(), descriptor
+
+
+def decode_result(blob: bytes, descriptor: Optional[ResultDescriptor]) -> Any:
+    """Rebuild a worker result; attaches and consumes its segment.
+
+    With ``descriptor=None`` this is a plain ``pickle.loads``.
+    Otherwise the segment is attached, CRC-verified, copied out (one
+    ``memcpy`` per array) and unlinked — decode a descriptor at most
+    once.
+
+    Raises:
+        ParallelError: when the segment is gone or its CRC disagrees
+            with the descriptor.
+    """
+    if descriptor is None:
+        return pickle.loads(blob)
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+    except FileNotFoundError:
+        raise ParallelError(
+            f"result segment {descriptor.shm_name!r} is gone; it was "
+            "already consumed or its worker never handed it over"
+        ) from None
+    _creator_unregister(shm)
+    try:
+        payload = shm.buf[: max(1, descriptor.total_bytes)]
+        actual = zlib.crc32(payload) & 0xFFFFFFFF
+        payload.release()
+        if actual != descriptor.crc:
+            raise ParallelError(
+                f"result segment {descriptor.shm_name!r}: payload CRC "
+                f"{actual:#010x} != descriptor {descriptor.crc:#010x}; "
+                "the segment was corrupted in transit"
+            )
+        arrays = []
+        for offset, dtype_str, shape in descriptor.arrays:
+            dtype = np.dtype(dtype_str)
+            count = 1
+            for extent in shape:
+                count *= int(extent)
+            view = np.frombuffer(
+                shm.buf, dtype=dtype, count=count, offset=offset
+            )
+            arrays.append(view.reshape(shape).copy())
+            del view
+        return _AttachingUnpickler(io.BytesIO(blob), arrays).load()
+    finally:
+        try:
+            shm.unlink()
+        except OSError:
+            pass
+        shm.close()
+
+
+def discard_result(descriptor: Optional[ResultDescriptor]) -> None:
+    """Release a result segment without decoding it (idempotent).
+
+    Used when a ``"done"`` message is drained unconsumed — a quiesced
+    pool, a cancelled batch — so abandoned results do not leak their
+    segments until process exit.
+    """
+    if descriptor is None:
+        return
+    from multiprocessing import shared_memory
+
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+    except FileNotFoundError:
+        return
+    _creator_unregister(shm)
+    try:
+        shm.unlink()
+    except OSError:
+        pass
+    shm.close()
+
+
+__all__ = [
+    "MIN_ARRAY_BYTES",
+    "ResultDescriptor",
+    "decode_result",
+    "discard_result",
+    "encode_result",
+]

@@ -168,6 +168,10 @@ class UnitSupervisor:
         self.crashes = 0
         self.hangs = 0
         self.requeues = 0
+        #: Units requeued because a *batch sibling* took the worker down
+        #: — they never ran, so they are not charged a kill and cannot
+        #: be poisoned by a neighbor's crash.
+        self.sibling_requeues = 0
         self.respawns = 0
         self.poisoned_units: List[str] = []
         self.degraded = False
@@ -243,6 +247,7 @@ class UnitSupervisor:
             "crashes": self.crashes,
             "hangs": self.hangs,
             "requeues": self.requeues,
+            "sibling_requeues": self.sibling_requeues,
             "respawns": self.respawns,
             "poisoned": list(self.poisoned_units),
             "degraded": self.degraded,

@@ -44,8 +44,12 @@ from repro.errors import BenchmarkError
 #: ``suite/multiprog-kernel`` (the multiprogrammed quantum x policy x
 #: geometry grid vs the scalar ``MultiprogrammedTLB`` walk).  ``/5``
 #: added ``suite/supervised-sweep`` (the run_units engine with
-#: supervision off vs on, gating supervision overhead at 5%).
-REPORT_SCHEMA = "repro-bench/5"
+#: supervision off vs on, gating supervision overhead at 5%).  ``/6``:
+#: ``suite/parallel-sweep`` grew a second measured point
+#: (``parallel4_seconds``/``speedup_jobs4`` at double the worker count)
+#: and reports may carry a ``profile`` block (per-phase timing totals
+#: and shared-pool dispatch stats) when run with ``--profile``.
+REPORT_SCHEMA = "repro-bench/6"
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:
@@ -133,6 +137,53 @@ def _unit_speedup(unit: Dict[str, Any], source: str) -> float:
             f"speedup {speedup}"
         )
     return speedup
+
+
+@dataclass(frozen=True)
+class FloorViolation:
+    """One absolute-floor check that failed."""
+
+    name: str
+    floor: float
+    measured: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: speedup {self.measured:.2f}x is below the "
+            f"required floor {self.floor:.2f}x"
+        )
+
+
+def check_floors(
+    report: Dict[str, Any], floors: Dict[str, float]
+) -> List[FloorViolation]:
+    """Check absolute speedup floors against a fresh report.
+
+    Baseline comparison is *relative* — it cannot catch "parallelism
+    has always been off on this runner" because the baseline would be
+    just as slow.  A floor is absolute: ``suite/parallel-sweep >= 1.0``
+    means the parallel run must beat the serial one on this machine,
+    full stop.  Returns the violations (empty = all floors hold).
+
+    Raises:
+        BenchmarkError: when a floor names a unit absent from the
+            report — a silently unenforceable floor is a broken gate.
+    """
+    units = {unit.get("name"): unit for unit in report.get("units", [])}
+    violations: List[FloorViolation] = []
+    for name, floor in floors.items():
+        unit = units.get(name)
+        if unit is None:
+            raise BenchmarkError(
+                f"--floor names unknown benchmark unit {name!r}; "
+                "it is not in the current report"
+            )
+        measured = _unit_speedup(unit, "current")
+        if measured < floor:
+            violations.append(
+                FloorViolation(name=name, floor=floor, measured=measured)
+            )
+    return violations
 
 
 def compare_reports(

@@ -13,11 +13,14 @@ multiprogrammed sibling (a quantum x policy x geometry grid, one
 kernel pass per cell vs the scalar ``MultiprogrammedTLB`` walk).  Two
 *suite-level* units ride along:
 
-* ``suite/parallel-sweep`` — one configuration sweep timed serially and
-  again at ``--jobs N`` through the shared worker pool, recording both
-  wall times and the serial/parallel speedup (~1x on a single core, ~N
-  on N).  The two sweeps must produce identical results or the unit
-  raises.
+* ``suite/parallel-sweep`` — one configuration sweep timed serially,
+  again at ``--jobs N`` through the persistent shared worker pool, and
+  once more at ``2N`` (the scaling point: ``speedup_jobs4`` with the
+  default ``--jobs 2``), recording the wall times and the
+  serial/parallel speedups (~1x on a single core, ~N on N).  Every
+  parallel sweep must produce results identical to the serial run or
+  the unit raises.  ``--floor suite/parallel-sweep=1.0`` turns "the
+  parallel run beats serial on this machine" into an absolute gate.
 * ``suite/supervised-sweep`` — the same sweep shaped as experiment
   units through ``run_units`` at ``--jobs N``, once with supervision
   disabled and once with the default supervision (heartbeats, AIMD
@@ -54,6 +57,7 @@ argument — benchmark inputs never depend on global RNG state.
 from __future__ import annotations
 
 import argparse
+import functools
 import json
 import os
 import platform
@@ -64,13 +68,19 @@ import tempfile
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import BenchmarkError, ReproError
 from repro.parallel.cache import SimulationCache
-from repro.perf.baseline import REPORT_SCHEMA, compare_reports, load_report
+from repro.parallel.pool import shared_pool_stats
+from repro.perf.baseline import (
+    REPORT_SCHEMA,
+    check_floors,
+    compare_reports,
+    load_report,
+)
 from repro.perf.kernels import KERNEL_SCALAR, KERNEL_VECTOR
 from repro.policy.dynamic_ws import dynamic_average_working_set
 from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
@@ -80,6 +90,11 @@ from repro.sim.sweep import sweep_single_size
 from repro.stacksim.lru_stack import lru_miss_curve
 from repro.tlb.indexing import IndexingScheme, ProbeStrategy
 from repro.trace.record import Trace
+from repro.trace.trace_io import (
+    SharedTraceHandle,
+    attach_shared_trace,
+    share_trace,
+)
 from repro.types import PAIR_4KB_32KB
 from repro.workloads.registry import generate_trace
 
@@ -249,23 +264,43 @@ def _time_call(func: Callable[[], Any], repeats: int) -> float:
 
 def _suite_parallel_sweep(
     trace: Trace, repeats: int, jobs: int
-) -> Dict[str, Any]:
-    """Time one pinned sweep serially and again across ``jobs`` workers."""
+) -> Tuple[Dict[str, Any], Optional[Dict[str, float]]]:
+    """Time one pinned sweep serially, at ``jobs`` and at ``2*jobs``.
+
+    The second parallel point (``speedup_jobs4`` at double the worker
+    count, 4 with the default ``--jobs 2``) shows whether the engine
+    actually *scales* or merely breaks even — on a multi-core runner
+    the jobs-4 figure should pull further ahead of serial than jobs-2.
+    Every parallel run is checked for bit-identical equivalence with
+    the serial results before anything is timed.
+
+    Returns the unit record plus the shared pool's transport stats from
+    the last timed parallel run (``--profile`` surfaces them).
+    """
     sizes = list(_SWEEP_PAGE_SIZES)
     configs = list(_SWEEP_CONFIGS)
+    jobs4 = jobs * 2
     serial_results = sweep_single_size(trace, sizes, configs)
-    parallel_results = sweep_single_size(trace, sizes, configs, jobs=jobs)
-    if serial_results != parallel_results:
-        raise BenchmarkError(
-            "suite/parallel-sweep: parallel sweep results diverged from "
-            "the serial run — the engines are not equivalent"
+    for workers in (jobs, jobs4):
+        parallel_results = sweep_single_size(
+            trace, sizes, configs, jobs=workers
         )
+        if serial_results != parallel_results:
+            raise BenchmarkError(
+                f"suite/parallel-sweep: jobs={workers} sweep results "
+                "diverged from the serial run — the engines are not "
+                "equivalent"
+            )
     serial_seconds = _time_call(
         lambda: sweep_single_size(trace, sizes, configs), repeats
+    )
+    parallel4_seconds = _time_call(
+        lambda: sweep_single_size(trace, sizes, configs, jobs=jobs4), repeats
     )
     parallel_seconds = _time_call(
         lambda: sweep_single_size(trace, sizes, configs, jobs=jobs), repeats
     )
+    pool_stats = shared_pool_stats()
     return {
         "name": "suite/parallel-sweep",
         "workload": trace.name,
@@ -273,16 +308,36 @@ def _suite_parallel_sweep(
         "repeats": repeats,
         "kind": "suite",
         "jobs": jobs,
+        "jobs4": jobs4,
         "serial_seconds": serial_seconds,
         "parallel_seconds": parallel_seconds,
+        "parallel4_seconds": parallel4_seconds,
         "speedup": serial_seconds / parallel_seconds,
+        "speedup_jobs4": serial_seconds / parallel4_seconds,
         "threshold_percent": SUITE_LEVEL_THRESHOLD,
-    }
+    }, pool_stats
+
+
+def _supervised_sweep_unit(
+    handle: SharedTraceHandle,
+    size: int,
+    configs: Tuple[TLBConfig, ...],
+) -> Any:
+    """One ``suite/supervised-sweep`` unit: a single-page-size sweep.
+
+    Module-level (and fed a :class:`SharedTraceHandle`, not a trace) so
+    the whole unit pickles small — that is what lets ``run_units`` ship
+    it to the *persistent shared pool* instead of forking a private
+    pool per timing repeat.  Both arms of the supervised-sweep unit pay
+    the same dispatch path, so their ratio isolates supervision cost.
+    """
+    trace = attach_shared_trace(handle)
+    return sweep_single_size(trace, [size], list(configs))
 
 
 def _suite_supervised_sweep(
     trace: Trace, repeats: int, jobs: int
-) -> Dict[str, Any]:
+) -> Tuple[Dict[str, Any], Optional[Dict[str, Any]]]:
     """Measure what default supervision costs on a healthy parallel run.
 
     The pinned sweep is reshaped into one experiment unit per page size
@@ -292,18 +347,26 @@ def _suite_supervised_sweep(
     AIMD admission, kill accounting).  The gated figure is the
     unsupervised/supervised wall-time ratio, capped at 1.0 — the guard
     is one-sided, only overhead can regress it.
+
+    Returns the unit record plus the supervised run's per-unit timing
+    breakdown (dispatch/queue-wait/run/transfer/flush seconds) for
+    ``--profile``.
     """
     from repro.parallel.supervisor import SupervisorConfig
     from repro.robustness.executor import UnitSpec, run_units
 
     sizes = list(_SWEEP_PAGE_SIZES)
-    configs = list(_SWEEP_CONFIGS)
+    configs = tuple(_SWEEP_CONFIGS)
+    handle = share_trace(trace)
+    last_timing: List[Optional[Dict[str, Any]]] = [None]
 
     def make_units() -> List[UnitSpec]:
         return [
             UnitSpec(
                 name=f"sweep/{size}",
-                run=lambda s=size: sweep_single_size(trace, [s], configs),
+                run=functools.partial(
+                    _supervised_sweep_unit, handle, size, configs
+                ),
             )
             for size in sizes
         ]
@@ -315,6 +378,7 @@ def _suite_supervised_sweep(
             raise BenchmarkError(
                 f"suite/supervised-sweep: units failed during timing: {failed}"
             )
+        last_timing[0] = report.timing
         return [outcome.result for outcome in report.outcomes]
 
     bare = SupervisorConfig(enabled=False)
@@ -338,7 +402,7 @@ def _suite_supervised_sweep(
         "raw_speedup": raw_speedup,
         "speedup": min(raw_speedup, 1.0),
         "threshold_percent": SUPERVISION_THRESHOLD,
-    }
+    }, last_timing[0]
 
 
 def _suite_result_cache(trace: Trace, repeats: int) -> Dict[str, Any]:
@@ -392,8 +456,18 @@ def run_suite(
     repeats: Optional[int] = None,
     revision: Optional[str] = None,
     jobs: int = 2,
+    profile: bool = False,
 ) -> Dict[str, Any]:
-    """Execute the pinned suite and return the report as a dict."""
+    """Execute the pinned suite and return the report as a dict.
+
+    With ``profile=True`` the report gains a ``profile`` block: the
+    shared pool's transport stats from the last timed parallel sweep
+    (batches, tasks, queue-wait/run/encode/transfer/decode seconds) and
+    the supervised sweep's per-unit timing breakdown
+    (dispatch/queue-wait/run/result-transfer/flush per unit, plus
+    totals).  Measurement itself is unchanged — the data is collected
+    either way; ``profile`` only controls whether it is reported.
+    """
     length = QUICK_LENGTH if quick else FULL_LENGTH
     if repeats is None:
         repeats = QUICK_REPEATS if quick else FULL_REPEATS
@@ -430,15 +504,17 @@ def run_suite(
             }
         )
 
-    units.append(
-        _suite_parallel_sweep(traces["matrix300"], repeats, jobs)
+    sweep_unit, pool_stats = _suite_parallel_sweep(
+        traces["matrix300"], repeats, jobs
     )
-    units.append(
-        _suite_supervised_sweep(traces["matrix300"], repeats, jobs)
+    units.append(sweep_unit)
+    supervised_unit, unit_timing = _suite_supervised_sweep(
+        traces["matrix300"], repeats, jobs
     )
+    units.append(supervised_unit)
     units.append(_suite_result_cache(traces["espresso"], repeats))
 
-    return {
+    report: Dict[str, Any] = {
         "schema": REPORT_SCHEMA,
         "revision": revision or detect_revision(),
         "quick": quick,
@@ -451,6 +527,12 @@ def run_suite(
         "wall_seconds": time.perf_counter() - started,
         "units": units,
     }
+    if profile:
+        report["profile"] = {
+            "parallel_sweep_pool": pool_stats,
+            "supervised_sweep_timing": unit_timing,
+        }
+    return report
 
 
 def detect_revision() -> str:
@@ -485,12 +567,19 @@ def _render_report(report: Dict[str, Any]) -> str:
     ]
     for unit in report["units"]:
         if "serial_seconds" in unit:
-            lines.append(
+            line = (
                 f"  {unit['name']:24s} [{unit['workload']}] "
                 f"serial {unit['serial_seconds']:.3f}s "
                 f"jobs={unit['jobs']} {unit['parallel_seconds']:.3f}s "
                 f"speedup {unit['speedup']:.1f}x"
             )
+            if "speedup_jobs4" in unit:
+                line += (
+                    f" | jobs={unit['jobs4']} "
+                    f"{unit['parallel4_seconds']:.3f}s "
+                    f"speedup {unit['speedup_jobs4']:.1f}x"
+                )
+            lines.append(line)
         elif "supervised_seconds" in unit:
             lines.append(
                 f"  {unit['name']:24s} [{unit['workload']}] "
@@ -518,6 +607,62 @@ def _render_report(report: Dict[str, Any]) -> str:
         f"peak RSS {report['peak_rss_kb']} KB"
     )
     return "\n".join(lines)
+
+
+def _render_profile(report: Dict[str, Any]) -> str:
+    """Human-readable dump of the report's ``profile`` block."""
+    profile = report.get("profile") or {}
+    lines = ["profile:"]
+    pool = profile.get("parallel_sweep_pool")
+    if pool:
+        lines.append(
+            "  parallel-sweep pool: "
+            f"{pool.get('batches', 0):.0f} batches / "
+            f"{pool.get('tasks', 0):.0f} tasks, "
+            f"queue_wait {pool.get('queue_wait_s', 0.0):.3f}s, "
+            f"run {pool.get('run_s', 0.0):.3f}s, "
+            f"encode {pool.get('encode_s', 0.0):.3f}s, "
+            f"transfer {pool.get('transfer_s', 0.0):.3f}s, "
+            f"decode {pool.get('decode_s', 0.0):.3f}s"
+        )
+    timing = profile.get("supervised_sweep_timing") or {}
+    totals = timing.get("totals")
+    if totals:
+        lines.append(
+            "  supervised-sweep totals: "
+            + ", ".join(
+                f"{key} {value:.3f}s" for key, value in sorted(totals.items())
+            )
+        )
+    for name, breakdown in sorted((timing.get("units") or {}).items()):
+        lines.append(
+            f"    {name}: "
+            + ", ".join(
+                f"{key} {value:.3f}s"
+                for key, value in sorted(breakdown.items())
+            )
+        )
+    if len(lines) == 1:
+        lines.append("  (no profile data collected)")
+    return "\n".join(lines)
+
+
+def _parse_floors(specs: Sequence[str]) -> Dict[str, float]:
+    """Parse repeated ``--floor NAME=VALUE`` arguments."""
+    floors: Dict[str, float] = {}
+    for spec in specs:
+        name, separator, value = spec.partition("=")
+        if not separator or not name:
+            raise BenchmarkError(
+                f"--floor expects NAME=VALUE, got {spec!r}"
+            )
+        try:
+            floors[name] = float(value)
+        except ValueError as error:
+            raise BenchmarkError(
+                f"--floor {name!r} has a non-numeric value {value!r}"
+            ) from error
+    return floors
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -578,6 +723,26 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help=(
+            "include the dispatch/transfer timing breakdown in the "
+            "report and print it (pool transport stats, per-unit "
+            "dispatch/queue-wait/run/transfer/flush seconds)"
+        ),
+    )
+    parser.add_argument(
+        "--floor",
+        action="append",
+        default=[],
+        metavar="NAME=VALUE",
+        help=(
+            "require unit NAME's measured speedup to be at least VALUE "
+            "(absolute, unlike the relative --baseline check; "
+            "repeatable); e.g. --floor suite/parallel-sweep=1.0"
+        ),
+    )
+    parser.add_argument(
         "--list",
         action="store_true",
         help="list the pinned suite units and exit",
@@ -598,6 +763,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.check and args.baseline is None:
             raise BenchmarkError("--check requires --baseline <file>")
         baseline = load_report(args.baseline) if args.check else None
+        floors = _parse_floors(args.floor)
         jobs = args.jobs
         if jobs is None:
             jobs_text = os.environ.get("REPRO_JOBS", "").strip()
@@ -608,10 +774,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             repeats=args.repeats,
             revision=args.rev,
             jobs=max(2, jobs),
+            profile=args.profile,
         )
         path = write_report(report, args.output_dir)
         print(_render_report(report))
+        if args.profile:
+            print(_render_profile(report))
         print(f"report written to {path}")
+        if floors:
+            violations = check_floors(report, floors)
+            if violations:
+                for violation in violations:
+                    print(violation.describe(), file=sys.stderr)
+                print(
+                    "repro-bench: FAIL — absolute speedup floor not met",
+                    file=sys.stderr,
+                )
+                return 1
+            print(f"floors passed ({len(floors)} checked)")
         if baseline is not None:
             result = compare_reports(report, baseline, args.threshold)
             for unit in result.units:

@@ -50,12 +50,17 @@ class UnitSpec:
     warmed stack pass) is actually reused.  Both are ignored-but-honored
     in serial runs: ``needs`` still gates execution, ``affinity`` is
     moot when there is only one process.
+
+    ``cost`` is an optional relative size estimate (e.g. estimated
+    references x geometry count) steering parallel batch packing; it
+    never affects correctness, only how units are grouped per dispatch.
     """
 
     name: str
     run: Callable[[], Any]
     needs: Tuple[str, ...] = ()
     affinity: Optional[str] = None
+    cost: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -92,6 +97,10 @@ class SuiteReport:
     supervision: Optional[Dict[str, Any]] = None
     #: Corrupt cache entries discarded (and recomputed) during the run.
     cache_corrupt_discarded: int = 0
+    #: Per-unit orchestration timing from a parallel run: ``{"units":
+    #: {name: {dispatch_s, queue_wait_s, run_s, result_transfer_s,
+    #: flush_s}}, "totals": {...}}``; None for serial runs.
+    timing: Optional[Dict[str, Any]] = None
 
     @property
     def succeeded(self) -> List[UnitOutcome]:
@@ -179,6 +188,7 @@ def run_units(
     sleep: Callable[[float], None] = time.sleep,
     jobs: Optional[int] = None,
     supervision: Optional[SupervisorConfig] = None,
+    batch_size: Optional[int] = None,
 ) -> SuiteReport:
     """Run every unit, isolating failures; never raises for a unit's error.
 
@@ -229,6 +239,7 @@ def run_units(
             clock=clock,
             sleep=sleep,
             supervision=supervision,
+            batch_size=batch_size,
         )
     if any(spec.needs or spec.affinity is not None for spec in units):
         from repro.parallel.scheduler import validate_units

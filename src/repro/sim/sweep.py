@@ -17,9 +17,10 @@ journaled — one pass is expensive, its results are precious.  A
 :class:`~repro.parallel.cache.SimulationCache` adds a second,
 cross-run layer: results found there are copied into the journal
 without simulating.  ``jobs`` fans independent stack-pass families out
-over the shared worker pool (:func:`repro.parallel.pool.shared_task_pool`),
-shipping the trace once via shared memory instead of pickling it per
-task.
+over the persistent worker pool (leased via
+:func:`repro.parallel.pool.lease_task_pool`), shipping the trace once
+via shared memory instead of pickling it per task and batching several
+families per dispatch round-trip.
 """
 
 from __future__ import annotations
@@ -35,7 +36,8 @@ from repro.parallel.cache import (
     SimulationCache,
     canonical_key,
 )
-from repro.parallel.pool import resolve_jobs, shared_task_pool
+from repro.parallel.pool import lease_task_pool, resolve_jobs
+from repro.parallel.scheduler import plan_batch_size
 from repro.perf.kernels import KERNEL_AUTO
 from repro.robustness import faultinject
 from repro.robustness.journal import RunJournal
@@ -125,6 +127,15 @@ def _family_curve(
     )
 
 
+#: Worker-local warm cache of page-number arrays, keyed by (segment
+#: name, page shift).  Several stack-pass families of one sweep share a
+#: page size; recomputing the shift per task would redo a full-trace
+#: vector op the worker already did for the previous batch item.  Small
+#: and bounded: entries die with the segment's sweep (new shm name).
+_PAGES_CACHE: Dict[Tuple[str, int], np.ndarray] = {}
+_PAGES_CACHE_LIMIT = 16
+
+
 def _family_curve_task(
     handle: SharedTraceHandle,
     page_shift: int,
@@ -137,10 +148,18 @@ def _family_curve_task(
 
     Module-level so it pickles by reference; the trace itself travels as
     a :class:`SharedTraceHandle` and is attached (and cached) inside the
-    worker rather than being serialized per task.
+    worker rather than being serialized per task.  The derived
+    page-number array is cached per (segment, shift) so batch siblings
+    with the same page size skip straight to the stack pass.
     """
-    trace = attach_shared_trace(handle)
-    pages = trace.addresses >> np.uint32(page_shift)
+    key = (handle.shm_name, page_shift)
+    pages = _PAGES_CACHE.get(key)
+    if pages is None:
+        trace = attach_shared_trace(handle)
+        pages = trace.addresses >> np.uint32(page_shift)
+        if len(_PAGES_CACHE) >= _PAGES_CACHE_LIMIT:
+            _PAGES_CACHE.clear()
+        _PAGES_CACHE[key] = pages
     return _family_curve(pages, index_shift, sets, depth, kernel)
 
 
@@ -270,22 +289,30 @@ def sweep_single_size(
                     (page_size, sets, _family_depth(sets, group), group)
                 )
         handle = share_trace(trace)
-        curves = shared_task_pool(worker_count).run_calls(
-            calls=[
-                (
-                    _family_curve_task,
+        lease = lease_task_pool(worker_count)
+        try:
+            curves = lease.pool.run_calls(
+                calls=[
                     (
-                        handle,
-                        log2_exact(page_size),
-                        index_shift,
-                        sets,
-                        depth,
-                        kernel,
-                    ),
-                )
-                for page_size, sets, depth, _group in families
-            ]
-        )
+                        _family_curve_task,
+                        (
+                            handle,
+                            log2_exact(page_size),
+                            index_shift,
+                            sets,
+                            depth,
+                            kernel,
+                        ),
+                    )
+                    for page_size, sets, depth, _group in families
+                ],
+                batch_size=plan_batch_size(len(families), worker_count),
+            )
+        except BaseException:
+            lease.dirty = True
+            raise
+        finally:
+            lease.release()
         for (page_size, sets, _depth, group), curve in zip(families, curves):
             for config in group:
                 ways = config.entries if sets == 1 else config.entries // sets

@@ -15,6 +15,7 @@ from repro.errors import BenchmarkError
 from repro.perf import bench
 from repro.perf.baseline import (
     REPORT_SCHEMA,
+    check_floors,
     compare_reports,
     load_report,
 )
@@ -101,6 +102,28 @@ class TestComparator:
         baseline["units"][0]["threshold_percent"] = -5.0
         with pytest.raises(BenchmarkError, match="negative"):
             compare_reports(current, baseline, threshold_percent=10.0)
+
+
+class TestFloors:
+    """Absolute speedup floors: the check a relative baseline cannot do."""
+
+    def test_all_floors_hold(self):
+        report = _report({"a": 2.0, "b": 0.9})
+        assert check_floors(report, {"a": 1.0}) == []
+        assert check_floors(report, {"a": 1.0, "b": 0.5}) == []
+
+    def test_violation_reported_with_both_numbers(self):
+        report = _report({"a": 0.8})
+        violations = check_floors(report, {"a": 1.0})
+        assert len(violations) == 1
+        assert violations[0].name == "a"
+        assert violations[0].measured == 0.8
+        assert "below the required floor 1.00x" in violations[0].describe()
+
+    def test_unknown_unit_is_an_error_not_a_pass(self):
+        report = _report({"a": 2.0})
+        with pytest.raises(BenchmarkError, match="unknown benchmark unit"):
+            check_floors(report, {"gone": 1.0})
 
 
 class TestLoadReport:
@@ -214,6 +237,36 @@ class TestCLI:
     def test_check_without_baseline_is_an_error(self, canned_suite, tmp_path):
         assert main(["--output-dir", str(tmp_path), "--check"]) == 2
 
+    def test_floor_pass_prints_confirmation(self, canned_suite, tmp_path, capsys):
+        code = main(
+            ["--output-dir", str(tmp_path), "--floor", "a=1.0", "--floor", "b=2.5"]
+        )
+        assert code == 0
+        assert "floors passed (2 checked)" in capsys.readouterr().out
+
+    def test_floor_violation_exits_one(self, canned_suite, tmp_path, capsys):
+        code = main(["--output-dir", str(tmp_path), "--floor", "b=5.0"])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "below the required floor 5.00x" in err
+        assert "absolute speedup floor not met" in err
+
+    def test_floor_unknown_unit_exits_two(self, canned_suite, tmp_path, capsys):
+        code = main(["--output-dir", str(tmp_path), "--floor", "nope=1.0"])
+        assert code == 2
+        assert "unknown benchmark unit" in capsys.readouterr().err
+
+    def test_floor_bad_spec_exits_two(self, canned_suite, tmp_path, capsys):
+        assert main(["--output-dir", str(tmp_path), "--floor", "a"]) == 2
+        assert main(["--output-dir", str(tmp_path), "--floor", "a=fast"]) == 2
+
+    def test_profile_flag_prints_profile_section(
+        self, canned_suite, tmp_path, capsys
+    ):
+        code = main(["--output-dir", str(tmp_path), "--profile"])
+        assert code == 0
+        assert "profile:" in capsys.readouterr().out
+
     def test_list_units(self, capsys):
         assert main(["--list"]) == 0
         out = capsys.readouterr().out
@@ -234,6 +287,16 @@ class TestSuiteSmoke:
         assert headline["speedup"] > 1.0  # vector must actually win
         assert headline["vector_refs_per_sec"] > headline["scalar_refs_per_sec"]
         assert loaded["peak_rss_kb"] > 0
+        sweep = next(
+            unit
+            for unit in loaded["units"]
+            if unit["name"] == "suite/parallel-sweep"
+        )
+        # The second scaling point (double the workers) ships in every
+        # report so CI can watch scaling, not just a single ratio.
+        assert sweep["jobs4"] == sweep["jobs"] * 2
+        assert sweep["parallel4_seconds"] > 0
+        assert sweep["speedup_jobs4"] > 0
         # The committed CI baseline must match the pinned suite.
         committed_path = (
             Path(__file__).resolve().parent.parent / "benchmarks" / "baseline.json"

@@ -134,6 +134,36 @@ class TestPoisonQuarantine:
         assert record.detail["reasons"] == ["crash", "crash", "crash"]
         assert "WorkerCrashError" in record.detail["last_error"]
 
+    def test_poison_inside_batch_quarantined_alone(self, tmp_path):
+        # With batched dispatch a crashing unit takes down a worker that
+        # holds its batch siblings too.  The siblings were never *run*,
+        # so they are requeued without being charged a kill — only the
+        # actual poison unit is quarantined.
+        plan = faultinject.ChaosPlan(
+            tmp_path / "tokens", victims={"u1": ("kill", 8)}
+        )
+        journal = RunJournal(tmp_path / "b.jsonl", fingerprint={"s": 1})
+        report = run_units(
+            _units(plan, count=8), journal=journal, jobs=2, batch_size=4
+        )
+        assert report.exit_code == 1
+        statuses = {o.name: o.status for o in report.outcomes}
+        assert statuses == {
+            f"u{index}": ("failed" if index == 1 else "ok")
+            for index in range(8)
+        }
+        assert report.supervision["poisoned"] == ["u1"]
+        assert plan.strikes_delivered() == 3
+        # At least one batch sibling rode along on a killed worker and
+        # came back requeued-not-killed; every survivor finished clean.
+        assert report.supervision["sibling_requeues"] >= 1
+        for index in (0, 2, 3, 4, 5, 6, 7):
+            record = journal.get(f"u{index}")
+            assert record.succeeded
+            assert record.payload is None or "poison" not in (
+                record.detail or {}
+            )
+
     def test_resume_completes_the_remainder(self, tmp_path):
         plan = faultinject.ChaosPlan(
             tmp_path / "tokens", victims={"u2": ("kill", 8)}

@@ -168,7 +168,7 @@ class TestSharedTraces:
 
 
 class TestRunUnitsEquivalence:
-    def _run(self, tmp_path, tag, jobs, fail=(), flaky=()):
+    def _run(self, tmp_path, tag, jobs, fail=(), flaky=(), batch_size=None):
         published = []
         outdir = tmp_path / tag
         outdir.mkdir()
@@ -199,6 +199,7 @@ class TestRunUnitsEquivalence:
             on_success=publish,
             journal_payload=lambda spec, result: {"value": result},
             jobs=jobs,
+            batch_size=batch_size,
         )
         files = {
             path.name: path.read_text() for path in sorted(outdir.iterdir())
@@ -226,6 +227,26 @@ class TestRunUnitsEquivalence:
             )
         assert parallel[3].get("u2").payload == {"value": 4}
         assert parallel[0].outcomes[2].attempts == 2  # the flaky unit
+
+    @pytest.mark.parametrize("jobs", [1, 2, 4])
+    @pytest.mark.parametrize("batch", [1, 4, 16])
+    def test_batched_identical_to_serial(self, tmp_path, jobs, batch):
+        # Batching is a dispatch optimization, never a semantic one: any
+        # (batch size, worker count) cell must be byte-identical to the
+        # serial run — published order, files, journal order, statuses.
+        serial = self._run(tmp_path, "serial", None, flaky={"u2"})
+        tag = f"j{jobs}b{batch}"
+        batched = self._run(
+            tmp_path, tag, jobs, flaky={"u2"}, batch_size=batch
+        )
+        assert batched[1] == serial[1]
+        assert batched[2] == serial[2]
+        assert _journal_units(tmp_path / f"{tag}.jsonl") == _journal_units(
+            tmp_path / "serial.jsonl"
+        )
+        assert [
+            (o.name, o.status, o.attempts) for o in batched[0].outcomes
+        ] == [(o.name, o.status, o.attempts) for o in serial[0].outcomes]
 
     def test_failure_isolated_and_exit_one(self, tmp_path):
         report, published, _files, journal = self._run(
@@ -297,6 +318,154 @@ class TestWorkerCrash:
         assert "exited with code 3" in doomed.error
         # The crash is journaled like any other failure.
         assert not journal.get("doomed").succeeded
+
+
+class TestBatchedDispatch:
+    def test_batch_interior_failure_isolated(self, tmp_path):
+        # One bad unit inside a 4-unit batch fails alone; its batch
+        # siblings complete normally on the same dispatch.
+        def make(name, value, broken=False):
+            def task(v=value, b=broken):
+                if b:
+                    raise RuntimeError("mid-batch failure")
+                return v * v
+
+            return UnitSpec(name=name, run=task)
+
+        units = [make(f"u{i}", i, broken=(i == 1)) for i in range(8)]
+        report = run_units(
+            units,
+            retry_policy=RetryPolicy(max_attempts=1, base_delay=0.0),
+            jobs=2,
+            batch_size=4,
+        )
+        assert report.exit_code == 1
+        statuses = {o.name: o.status for o in report.outcomes}
+        assert statuses == {
+            f"u{i}": ("failed" if i == 1 else "ok") for i in range(8)
+        }
+        failed = next(o for o in report.outcomes if o.name == "u1")
+        assert "mid-batch failure" in failed.error
+
+    def test_timing_breakdown_present(self, tmp_path):
+        units = [_spec(f"t{i}", i) for i in range(4)]
+        report = run_units(units, jobs=2, batch_size=2)
+        assert report.ok
+        assert report.timing is not None
+        per_unit = report.timing["units"]
+        assert set(per_unit) == {f"t{i}" for i in range(4)}
+        keys = {
+            "dispatch_s", "queue_wait_s", "run_s",
+            "result_transfer_s", "flush_s",
+        }
+        for breakdown in per_unit.values():
+            assert set(breakdown) == keys
+            assert all(value >= 0.0 for value in breakdown.values())
+        assert set(report.timing["totals"]) == keys
+
+    def test_serial_run_has_no_timing(self):
+        report = run_units([_spec("s0", 1)], jobs=None)
+        assert report.ok and report.timing is None
+
+
+def _worker_pid():
+    return os.getpid()
+
+
+def _big_payload():
+    return {
+        "addresses": np.arange(200_000, dtype=np.uint64),
+        "count": 200_000,
+    }
+
+
+class TestPersistentPool:
+    def test_worker_processes_reused_across_runs(self):
+        # Consecutive run_units calls at the same worker count must land
+        # on the same worker processes — the fork cost is paid once per
+        # pool, not once per call.
+        def units(prefix):
+            return [
+                UnitSpec(name=f"{prefix}{i}", run=_worker_pid)
+                for i in range(4)
+            ]
+
+        first = run_units(units("a"), jobs=2)
+        second = run_units(units("b"), jobs=2)
+        assert first.ok and second.ok
+        first_pids = {o.result for o in first.outcomes}
+        second_pids = {o.result for o in second.outcomes}
+        assert os.getpid() not in first_pids
+        assert first_pids == second_pids
+
+    def test_large_result_round_trips_through_shared_memory(self):
+        # A >1MB numpy payload crosses back via a shared-memory segment
+        # (the pipe carries only a descriptor) and must arrive intact.
+        expected = _big_payload()
+        report = run_units(
+            [UnitSpec(name="big", run=_big_payload)], jobs=2
+        )
+        assert report.ok
+        result = report.outcomes[0].result
+        assert result["count"] == expected["count"]
+        np.testing.assert_array_equal(
+            result["addresses"], expected["addresses"]
+        )
+
+
+class TestShmResults:
+    def test_small_results_stay_on_the_pipe(self):
+        from repro.parallel import shm_results
+
+        blob, descriptor = shm_results.encode_result({"x": 1, "y": [2, 3]})
+        assert descriptor is None
+        assert shm_results.decode_result(blob, None) == {"x": 1, "y": [2, 3]}
+
+    def test_large_arrays_diverted_and_restored(self):
+        from repro.parallel import shm_results
+
+        payload = {
+            "a": np.arange(100_000, dtype=np.uint64),
+            "b": np.ones(50_000, dtype=np.float64),
+            "small": np.arange(4, dtype=np.uint8),  # under the threshold
+            "plain": "metadata",
+        }
+        blob, descriptor = shm_results.encode_result(payload)
+        assert descriptor is not None
+        assert len(descriptor.arrays) == 2  # only the big ones diverted
+        assert len(blob) < payload["a"].nbytes  # pipe carries no bulk data
+        decoded = shm_results.decode_result(blob, descriptor)
+        np.testing.assert_array_equal(decoded["a"], payload["a"])
+        np.testing.assert_array_equal(decoded["b"], payload["b"])
+        np.testing.assert_array_equal(decoded["small"], payload["small"])
+        assert decoded["plain"] == "metadata"
+
+    def test_corrupt_segment_is_a_structured_failure(self):
+        from multiprocessing import shared_memory
+
+        from repro.parallel import shm_results
+
+        blob, descriptor = shm_results.encode_result(
+            np.arange(100_000, dtype=np.uint64)
+        )
+        assert descriptor is not None
+        segment = shared_memory.SharedMemory(name=descriptor.shm_name)
+        try:
+            segment.buf[0] = segment.buf[0] ^ 0xFF
+        finally:
+            segment.close()
+        with pytest.raises(ParallelError, match="CRC"):
+            shm_results.decode_result(blob, descriptor)
+
+    def test_discard_is_idempotent(self):
+        from repro.parallel import shm_results
+
+        _blob, descriptor = shm_results.encode_result(
+            np.arange(100_000, dtype=np.uint64)
+        )
+        shm_results.discard_result(descriptor)
+        shm_results.discard_result(descriptor)  # already unlinked: no-op
+        shm_results.discard_result(None)
 
 
 class TestResumeAcrossModes:
