@@ -354,15 +354,26 @@ def run_twolevel_ablation(
     l2_entries: int = 32,
     l2_hit_cycles: float = 4.0,
 ) -> TwoLevelAblation:
-    """Compare a flat TLB to a two-level hierarchy on the ablation set."""
-    from repro.policy.promotion import DynamicPromotionPolicy
-    from repro.tlb.fully_assoc import FullyAssociativeTLB
-    from repro.tlb.twolevel import TwoLevelTLB
-    from repro.types import log2_exact
+    """Compare a flat TLB to a two-level hierarchy on the ablation set.
+
+    Both arms run through the vector drivers: the flat TLB via
+    :func:`run_two_sizes`, the hierarchy via
+    :func:`~repro.sim.driver.run_two_level` (the reconstructed-L1-miss-
+    stream kernel), with results threaded through the shared cache.
+    The hierarchy is charged the same walk penalty as the flat arm on
+    true misses, plus ``l2_hit_cycles`` per L1-miss/L2-hit.
+    """
+    from repro.sim.config import TwoLevelConfig
+    from repro.sim.driver import run_two_level
 
     if scale is None:
         scale = default_scale()
     cache = scale.sim_cache()
+    config = TwoLevelConfig(
+        level1=TLBConfig(l1_entries),
+        level2=TLBConfig(l2_entries),
+        l2_hit_cycles=l2_hit_cycles,
+    )
     flat_cpi: Dict[str, float] = {}
     hierarchy_cpi: Dict[str, float] = {}
     l2_rate: Dict[str, float] = {}
@@ -372,29 +383,9 @@ def run_twolevel_ablation(
         (flat,) = run_two_sizes(trace, scheme, [TLBConfig(16)], cache=cache)
         flat_cpi[name] = flat.cpi_tlb
 
-        hierarchy = TwoLevelTLB(
-            FullyAssociativeTLB(l1_entries),
-            FullyAssociativeTLB(l2_entries),
-            l2_hit_cycles,
-        )
-        policy = DynamicPromotionPolicy(PAIR_4KB_32KB, scale.window)
-        pair = policy.pair
-        shift = log2_exact(pair.blocks_per_chunk)
-        for block in (trace.addresses >> pair.small_shift).tolist():
-            decision = policy.access_block(block)
-            if decision.demoted_chunk is not None:
-                hierarchy.invalidate_large_page(decision.demoted_chunk)
-            if decision.promoted_chunk is not None:
-                hierarchy.invalidate_small_pages_of_chunk(
-                    decision.promoted_chunk, pair.blocks_per_chunk
-                )
-            hierarchy.access(block, block >> shift, decision.large)
-        instructions = len(trace) / trace.refs_per_instruction
-        cycles = (
-            hierarchy.stats.misses * 25.0 + hierarchy.extra_hit_cycles()
-        )
-        hierarchy_cpi[name] = cycles / instructions
-        l1_misses = hierarchy.l2_hits + hierarchy.stats.misses
+        hierarchy = run_two_level(trace, scheme, config, cache=cache)
+        hierarchy_cpi[name] = hierarchy.cpi_tlb
+        l1_misses = hierarchy.l2_hits + hierarchy.misses
         l2_rate[name] = (
             hierarchy.l2_hits / l1_misses if l1_misses else 0.0
         )

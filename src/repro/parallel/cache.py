@@ -79,8 +79,11 @@ CACHE_SCHEMA = "repro-cache/1"
 #: two-size vector path moved to the epoch-segmented kernel.  ``3``: the
 #: multiprogrammed path gained the ``"multiprog"`` kind (grid cells and
 #: single runs share entries) and its mixes are built by the vectorized
-#: round-robin mixer.
-CACHE_KEY_VERSION = 3
+#: round-robin mixer.  ``4``: FIFO/random replacement moved to the
+#: sampled-set kernel (keys record ``"sampled"`` plus the ``exact``
+#: flag), replacement RNGs are seeded from the configuration, and the
+#: ``"twolevel"`` and ``"multiprog2"`` kinds joined the namespace.
+CACHE_KEY_VERSION = 4
 
 
 def canonical_key(parts: Mapping[str, Any]) -> str:

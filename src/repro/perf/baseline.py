@@ -48,8 +48,13 @@ from repro.errors import BenchmarkError
 #: ``suite/parallel-sweep`` grew a second measured point
 #: (``parallel4_seconds``/``speedup_jobs4`` at double the worker count)
 #: and reports may carry a ``profile`` block (per-phase timing totals
-#: and shared-pool dispatch stats) when run with ``--profile``.
-REPORT_SCHEMA = "repro-bench/6"
+#: and shared-pool dispatch stats) when run with ``--profile``.  ``/7``
+#: added the scalar-island closers: ``suite/twolevel-kernel`` (victim
+#: stream reconstruction vs composite TwoLevelTLB walks),
+#: ``suite/sampled-replacement`` (sampled-set FIFO/random vs the scalar
+#: replacement walk) and ``suite/multiprog-twosize`` (the composed
+#: multiprogrammed two-page-size kernel vs per-program policy walks).
+REPORT_SCHEMA = "repro-bench/7"
 
 
 def load_report(path: Union[str, Path]) -> Dict[str, Any]:

@@ -10,8 +10,15 @@ plus peak RSS for the process.
 Table 5.1 shapes from one epoch-segmented pass, timed scalar vs vector
 like the kernel units), and ``suite/multiprog-kernel`` its
 multiprogrammed sibling (a quantum x policy x geometry grid, one
-kernel pass per cell vs the scalar ``MultiprogrammedTLB`` walk).  Two
-*suite-level* units ride along:
+kernel pass per cell vs the scalar ``MultiprogrammedTLB`` walk).
+Three further kernel units close the former scalar islands:
+``suite/twolevel-kernel`` (two-level hierarchies served from one
+reconstructed L1-miss stream vs composite ``TwoLevelTLB`` walks),
+``suite/sampled-replacement`` (set-sampled FIFO/random estimation —
+its "vector" arm maps to the sampled kernel — vs the scalar
+replacement walk) and ``suite/multiprog-twosize`` (the composed
+multiprogrammed two-page-size kernel vs per-program policy walks).
+Two *suite-level* units ride along:
 
 * ``suite/parallel-sweep`` — one configuration sweep timed serially,
   again at ``--jobs N`` through the persistent shared worker pool, and
@@ -81,11 +88,19 @@ from repro.perf.baseline import (
     compare_reports,
     load_report,
 )
-from repro.perf.kernels import KERNEL_SCALAR, KERNEL_VECTOR
+from repro.perf.kernels import KERNEL_SAMPLED, KERNEL_SCALAR, KERNEL_VECTOR
 from repro.policy.dynamic_ws import dynamic_average_working_set
-from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
-from repro.sim.driver import run_single_size, run_two_sizes
-from repro.sim.multiprog import sweep_multiprogrammed
+from repro.sim.config import (
+    SingleSizeScheme,
+    TLBConfig,
+    TwoLevelConfig,
+    TwoSizeScheme,
+)
+from repro.sim.driver import run_single_size, run_two_sizes, sweep_two_level
+from repro.sim.multiprog import (
+    sweep_multiprogrammed,
+    sweep_multiprogrammed_two_sizes,
+)
 from repro.sim.sweep import sweep_single_size
 from repro.stacksim.lru_stack import lru_miss_curve
 from repro.tlb.indexing import IndexingScheme, ProbeStrategy
@@ -202,6 +217,76 @@ def _unit_working_set(trace: Trace, kernel: str) -> Any:
     )
 
 
+#: Pinned hierarchies for ``suite/twolevel-kernel``: one 4-entry fully
+#: associative micro-TLB backed by each of three L2 geometries, all
+#: served from a single reconstructed L1-miss stream under the vector
+#: kernel; the scalar side walks composite ``TwoLevelTLB`` models.
+_TWOLEVEL_L1 = TLBConfig(entries=4)
+_TWOLEVEL_CONFIGS = (
+    TwoLevelConfig(level1=_TWOLEVEL_L1, level2=TLBConfig(entries=32)),
+    TwoLevelConfig(
+        level1=_TWOLEVEL_L1, level2=TLBConfig(entries=64, associativity=2)
+    ),
+    TwoLevelConfig(
+        level1=_TWOLEVEL_L1,
+        level2=TLBConfig(
+            entries=64,
+            associativity=2,
+            probe_strategy=ProbeStrategy.SEQUENTIAL,
+        ),
+    ),
+)
+
+
+def _unit_twolevel_sweep(trace: Trace, kernel: str) -> Any:
+    return sweep_two_level(
+        trace, _TWO_SIZE, list(_TWOLEVEL_CONFIGS), kernel=kernel
+    )
+
+
+#: Pinned shapes for ``suite/sampled-replacement``: set-associative
+#: FIFO and random TLBs, sized so the sampled kernel simulates a
+#: quarter of the sets.  The unit's "vector" arm maps to the sampled
+#: kernel — the estimator is the fast path these policies get.
+_SAMPLED_CONFIGS = (
+    TLBConfig(entries=128, associativity=2, replacement="fifo"),
+    TLBConfig(entries=128, associativity=2, replacement="random"),
+    TLBConfig(entries=256, associativity=4, replacement="fifo"),
+)
+
+
+def _unit_sampled_replacement(trace: Trace, kernel: str) -> Any:
+    resolved = KERNEL_SAMPLED if kernel == KERNEL_VECTOR else kernel
+    return [
+        run_single_size(trace, _PAGE_4KB, config, kernel=resolved)
+        for config in _SAMPLED_CONFIGS
+    ]
+
+
+#: Pinned grid for ``suite/multiprog-twosize``: the trace cut into
+#: three "programs", each running its own dynamic promotion policy,
+#: interleaved at two quanta under both context-switch policies over
+#: two-size-capable geometries — the composed kernel's home turf.
+_MULTIPROG2_QUANTA = (2_000, 8_000)
+_MULTIPROG2_CONFIGS = (
+    _CONFIG_16E_FA,
+    TLBConfig(entries=32),
+    TLBConfig(entries=32, associativity=2, scheme=IndexingScheme.EXACT_INDEX),
+)
+
+
+def _unit_multiprog_twosize(trace: Trace, kernel: str) -> Any:
+    third = len(trace) // 3
+    programs = [trace[index * third : (index + 1) * third] for index in range(3)]
+    return sweep_multiprogrammed_two_sizes(
+        programs,
+        list(_MULTIPROG2_CONFIGS),
+        scheme=_TWO_SIZE,
+        quanta=_MULTIPROG2_QUANTA,
+        kernel=kernel,
+    )
+
+
 #: The pinned suite, in reporting order.  The first unit is the headline
 #: single-size simulation the acceptance gate refers to.
 SUITE = (
@@ -212,6 +297,9 @@ SUITE = (
     BenchUnit("policy/working-set", "matrix300", _unit_working_set),
     BenchUnit("suite/two-size-kernel", "espresso", _unit_two_size_sweep),
     BenchUnit("suite/multiprog-kernel", "matrix300", _unit_multiprog_sweep),
+    BenchUnit("suite/twolevel-kernel", "espresso", _unit_twolevel_sweep),
+    BenchUnit("suite/sampled-replacement", "matrix300", _unit_sampled_replacement),
+    BenchUnit("suite/multiprog-twosize", "espresso", _unit_multiprog_twosize),
 )
 
 #: Suite-level unit names, in reporting order (after the kernel units).
@@ -747,12 +835,58 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="list the pinned suite units and exit",
     )
+    parser.add_argument(
+        "--history",
+        nargs="?",
+        const=Path("benchmarks/history"),
+        default=None,
+        type=Path,
+        metavar="DIR",
+        help=(
+            "list the archived bench reports under DIR (default "
+            "benchmarks/history) and exit"
+        ),
+    )
     return parser
+
+
+def _render_history(history_dir: Path) -> str:
+    """One line per archived ``BENCH_*.json`` report under ``history_dir``."""
+    paths = sorted(history_dir.glob("BENCH_*.json"))
+    if not paths:
+        return f"no bench reports under {history_dir}"
+    headline_name = SUITE[0].name
+    lines = [f"bench history in {history_dir}:"]
+    for path in paths:
+        try:
+            report = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            lines.append(f"  {path.name}: unreadable")
+            continue
+        units = report.get("units", [])
+        headline = next(
+            (u for u in units if u.get("name") == headline_name), None
+        )
+        speed = (
+            f", {headline_name} speedup {headline['speedup']:.1f}x"
+            if headline and "speedup" in headline
+            else ""
+        )
+        lines.append(
+            f"  {path.name}: {report.get('schema', '?')}, "
+            f"rev {report.get('revision', '?')}, "
+            f"{'quick' if report.get('quick') else 'full'}, "
+            f"{len(units)} units{speed}"
+        )
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point.  Exit 0 on success, 1 on regression, 2 on error."""
     args = _build_parser().parse_args(argv)
+    if args.history is not None:
+        print(_render_history(args.history))
+        return 0
     if args.list:
         for unit in SUITE:
             print(f"{unit.name}  [{unit.workload}]")

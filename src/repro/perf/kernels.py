@@ -41,6 +41,7 @@ Two further exact reductions make the kernels fast in practice:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple, Union
 
@@ -51,12 +52,77 @@ from repro.errors import ConfigurationError
 #: Kernel selector values accepted by every ``kernel=`` parameter.
 KERNEL_SCALAR = "scalar"
 KERNEL_VECTOR = "vector"
+KERNEL_SAMPLED = "sampled"
 KERNEL_AUTO = "auto"
 
-_KERNELS = (KERNEL_SCALAR, KERNEL_VECTOR, KERNEL_AUTO)
+_KERNELS = (KERNEL_SCALAR, KERNEL_VECTOR, KERNEL_SAMPLED, KERNEL_AUTO)
 
 #: Block size below which dominance counts use direct broadcasting.
 _BASE_BLOCK = 16
+
+
+class KernelFallbackWarning(UserWarning):
+    """Emitted when ``kernel="auto"`` has to resolve to the scalar walk.
+
+    The scalar per-reference loop is 4-25x slower than the array
+    kernels, so a sweep that silently leaks onto it is a performance
+    bug, not a correctness one — loud by policy.  The warning message
+    carries the reason so audits of large sweeps can attribute every
+    slow-path cell.
+    """
+
+
+@dataclass(frozen=True)
+class KernelChoice:
+    """A resolved kernel plus the reason if ``auto`` fell back to scalar."""
+
+    kernel: str
+    fallback_reason: Optional[str] = None
+
+
+def choose_kernel(
+    kernel: str,
+    *,
+    vector_supported: bool = True,
+    sampled_supported: bool = False,
+    reason: str = "configuration not supported by an array kernel",
+) -> KernelChoice:
+    """Resolve a ``kernel=`` argument to a concrete kernel, loudly.
+
+    ``"auto"`` prefers the exact vector kernel, then the sampled-set
+    kernel (statistical, for FIFO/random replacement), and only then
+    the scalar walk — in which case a :class:`KernelFallbackWarning`
+    is emitted carrying ``reason`` so no sweep silently runs 4-25x
+    slower than it should.  Requesting ``"vector"`` or ``"sampled"``
+    explicitly when unsupported is an error, so a benchmark or test
+    never silently measures the wrong kernel.
+    """
+    if kernel not in _KERNELS:
+        raise ConfigurationError(
+            f"unknown kernel {kernel!r}; choose from {', '.join(_KERNELS)}"
+        )
+    if kernel == KERNEL_AUTO:
+        if vector_supported:
+            return KernelChoice(KERNEL_VECTOR)
+        if sampled_supported:
+            return KernelChoice(KERNEL_SAMPLED)
+        warnings.warn(
+            f"kernel='auto' fell back to the scalar walk: {reason}",
+            KernelFallbackWarning,
+            stacklevel=3,
+        )
+        return KernelChoice(KERNEL_SCALAR, fallback_reason=reason)
+    if kernel == KERNEL_VECTOR and not vector_supported:
+        raise ConfigurationError(
+            "the vector kernel does not support this configuration "
+            f"({reason}); use kernel='scalar' or kernel='auto'"
+        )
+    if kernel == KERNEL_SAMPLED and not sampled_supported:
+        raise ConfigurationError(
+            "the sampled-set kernel does not support this configuration "
+            f"({reason}); use kernel='scalar' or kernel='auto'"
+        )
+    return KernelChoice(kernel)
 
 
 def resolve_kernel(kernel: str, *, vector_supported: bool = True) -> str:
@@ -66,20 +132,14 @@ def resolve_kernel(kernel: str, *, vector_supported: bool = True) -> str:
     can honour one (``vector_supported``), e.g. LRU replacement only.
     Requesting ``"vector"`` explicitly when unsupported is an error, so
     a benchmark or test never silently measures the wrong kernel.
+    Thin wrapper over :func:`choose_kernel` kept for call sites that
+    have no sampled path; the fallback warning applies equally.
     """
-    if kernel not in _KERNELS:
-        raise ConfigurationError(
-            f"unknown kernel {kernel!r}; choose from {', '.join(_KERNELS)}"
-        )
-    if kernel == KERNEL_AUTO:
-        return KERNEL_VECTOR if vector_supported else KERNEL_SCALAR
-    if kernel == KERNEL_VECTOR and not vector_supported:
-        raise ConfigurationError(
-            "the vector kernel does not support this configuration "
-            "(non-LRU replacement or a non-array reference stream); "
-            "use kernel='scalar' or kernel='auto'"
-        )
-    return kernel
+    return choose_kernel(
+        kernel,
+        vector_supported=vector_supported,
+        reason="non-LRU replacement or a non-array reference stream",
+    ).kernel
 
 
 def previous_occurrences(keys: np.ndarray) -> np.ndarray:

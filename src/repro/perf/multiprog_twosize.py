@@ -1,0 +1,287 @@
+"""Composed kernel for multiprogrammed two-page-size simulation.
+
+:mod:`repro.perf.twosize` re-tags ``(page, size)`` keys with a
+promotion-epoch counter; :mod:`repro.perf.multiprog` re-tags page keys
+with an ASID fold or a flush-epoch counter.  Both are key transforms on
+``(page, size, epoch)``, so a multiprogrammed two-page-size run — one
+assignment policy per address space, the OS design space the paper
+flags in Section 6 — is their composition:
+
+* ``ASID`` — fold the context into the block number up front
+  (``asid << ASID_SHIFT | block``; chunks inherit the fold under the
+  right shift, ``asid << (ASID_SHIFT - blocks_shift) | chunk``) and
+  run the *unchanged* two-size kernel over the folded stream.  Each
+  program's promotion events land on its own folded chunks, so the
+  per-program decision streams compose into one event plan with
+  disjoint chunk namespaces.  Nothing is ever flushed; exactness is the
+  two-size kernel's.
+* ``FLUSH`` — keep raw pages for sets and keys, and tag every key with
+  ``event_epoch * (switches + 1) + flush_epoch``.  A flush segment is
+  single-context (a segment runs between two switches), so raw-page
+  collisions across programs cannot happen inside a segment, and the
+  flush-epoch tag force-misses everything across segments — the flush
+  is a *universal* epoch boundary.  Shootdown tombstones are filtered
+  to the event's own flush segment: entries inserted before the last
+  flush are already gone, so flushes subsume any older tombstone.  All
+  residency and correction scans then stay intra-segment by
+  construction, matching the scalar model where a flush empties every
+  set.
+
+Both paths are bit-identical to walking a
+:class:`~repro.tlb.context.MultiprogrammedTLB` around the two-size TLB
+models with per-program policies, for LRU replacement (the shared
+vector-kernel precondition).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.perf.multiprog import count_switches, switch_boundaries
+from repro.perf.twosize import (
+    _dedupe_last,
+    _event_plan,
+    _EventPlan,
+    _FA_FAMILY,
+    _family_of,
+    _require_lru,
+    _SetFamilyAnalysis,
+    _unified_set_stream,
+    two_size_counts,
+)
+from repro.tlb.context import ASID_SHIFT, ContextSwitchPolicy
+from repro.tlb.indexing import IndexingScheme, ProbeStrategy
+
+if TYPE_CHECKING:  # import cycle: sim.config pulls in the driver package
+    from repro.policy.vector import PolicyDecisions
+    from repro.sim.config import TLBConfig
+
+__all__ = [
+    "MultiprogTwoSizeCounts",
+    "fold_event_chunks",
+    "multiprog_two_size_counts",
+]
+
+
+@dataclass(frozen=True)
+class MultiprogTwoSizeCounts:
+    """Exact per-configuration counters of one composed pass."""
+
+    misses: int
+    large_misses: int
+    reprobes: int
+    invalidations: int
+    switches: int
+
+
+def fold_event_chunks(
+    context: int, chunks: np.ndarray, blocks_shift: int
+) -> np.ndarray:
+    """Fold one program's chunk ids into its private event namespace.
+
+    Applied to a program's ``promoted``/``demoted`` decision columns
+    (where ``>= 0``) before composing the per-program streams: the
+    kernel's event plan runs on context-folded chunks, so each
+    program's promotion state machine stays independent — exactly the
+    per-address-space assignment policies of Section 6.
+    """
+    fold = np.int64(context << (ASID_SHIFT - blocks_shift))
+    return np.where(chunks >= 0, chunks | fold, chunks)
+
+
+def _flush_tombstones(
+    plan: _EventPlan,
+    blocks: np.ndarray,
+    flush_epoch: np.ndarray,
+    combined: np.ndarray,
+    chunk_mask: np.int64,
+    kind: str,
+    num_sets: int,
+    span2: np.int64,
+    key_stride: np.int64,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Event deletions under FLUSH, restricted to the event's segment.
+
+    Mirrors :func:`repro.perf.twosize._unified_tombstones`, with three
+    composition twists: ended-epoch references from *earlier* flush
+    segments are dropped (the flush already removed those entries),
+    key tags are the combined ``event_epoch * F + flush_epoch`` values,
+    and the event's folded chunk is unfolded (``& chunk_mask``) back to
+    the raw large-page number the TLB actually stores.
+    """
+    mask = np.int64(num_sets - 1)
+    sets_out: List[np.ndarray] = []
+    keys_out: List[np.ndarray] = []
+    lref_out: List[np.ndarray] = []
+    eref_out: List[np.ndarray] = []
+    for j in range(plan.num_events):
+        refs = plan.ended_refs(j)
+        if refs.size:
+            refs = refs[flush_epoch[refs] == flush_epoch[plan.ev_ref[j]]]
+        if refs.size == 0:
+            continue
+        chunk = int(plan.ev_chunk[j] & chunk_mask)
+        tags = combined[refs]
+        if plan.ev_promote[j]:
+            raw = blocks[refs] << np.int64(1)
+            if kind == _FA_FAMILY:
+                sets_arr = np.zeros(refs.size, dtype=np.int64)
+            elif kind == IndexingScheme.LARGE_INDEX.value:
+                sets_arr = np.full(refs.size, chunk & int(mask), dtype=np.int64)
+            else:  # SMALL_INDEX and EXACT_INDEX index small pages by block
+                sets_arr = blocks[refs] & mask
+        else:
+            raw = np.full(refs.size, (chunk << 1) | 1, dtype=np.int64)
+            if kind == _FA_FAMILY:
+                sets_arr = np.zeros(refs.size, dtype=np.int64)
+            elif kind == IndexingScheme.SMALL_INDEX.value:
+                sets_arr = blocks[refs] & mask
+            else:  # LARGE_INDEX and EXACT_INDEX index large pages by chunk
+                sets_arr = np.full(refs.size, chunk & int(mask), dtype=np.int64)
+        keys_arr = raw * span2 + tags
+        u_sets, u_keys, u_lref = _dedupe_last(sets_arr, keys_arr, refs, key_stride)
+        sets_out.append(u_sets)
+        keys_out.append(u_keys)
+        lref_out.append(u_lref)
+        eref_out.append(np.full(u_sets.size, plan.ev_ref[j], dtype=np.int64))
+    if not sets_out:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, empty, empty
+    return (
+        np.concatenate(sets_out),
+        np.concatenate(keys_out),
+        np.concatenate(lref_out),
+        np.concatenate(eref_out),
+    )
+
+
+def multiprog_two_size_counts(
+    blocks: np.ndarray,
+    contexts: np.ndarray,
+    blocks_shift: int,
+    decisions: "PolicyDecisions",
+    switch_policy: ContextSwitchPolicy,
+    configs: Sequence["TLBConfig"],
+) -> List[MultiprogTwoSizeCounts]:
+    """Evaluate every configuration of one multiprogrammed two-size mix.
+
+    ``decisions`` is the interleaved composition of the per-program
+    policy streams, with ``promoted``/``demoted`` already context-folded
+    via :func:`fold_event_chunks` (the driver composes them; each
+    program's policy sees only its own references).  Results are
+    bit-identical to the scalar per-program-policy walk.
+    """
+    configs = list(configs)
+    if not configs:
+        return []
+    _require_lru(configs)
+    blocks = np.ascontiguousarray(np.asarray(blocks), dtype=np.int64)
+    contexts = np.ascontiguousarray(np.asarray(contexts), dtype=np.int64)
+    if contexts.shape != blocks.shape:
+        raise ConfigurationError(
+            f"context stream covers {contexts.size} references, "
+            f"mix has {blocks.size}"
+        )
+    n = int(blocks.size)
+    if n and (int(blocks.min()) < 0 or int(contexts.min()) < 0):
+        raise ConfigurationError(
+            "block numbers and contexts must be non-negative"
+        )
+    if n and int(blocks.max()) >= (1 << ASID_SHIFT):
+        raise ConfigurationError(
+            f"block numbers overflow the {ASID_SHIFT}-bit ASID fold"
+        )
+    if int(decisions.large.size) != n:
+        raise ConfigurationError(
+            f"decision stream covers {decisions.large.size} references, "
+            f"mix has {n}"
+        )
+    switches = count_switches(contexts)
+
+    if switch_policy is ContextSwitchPolicy.ASID:
+        # Fold once, then the plain two-size kernel is exact: disjoint
+        # per-program chunk namespaces, shared capacity, no flushes.
+        folded_blocks = (contexts << np.int64(ASID_SHIFT)) | blocks
+        inner = two_size_counts(folded_blocks, blocks_shift, decisions, configs)
+        return [
+            MultiprogTwoSizeCounts(
+                misses=c.misses,
+                large_misses=c.large_misses,
+                reprobes=c.reprobes,
+                invalidations=c.invalidations,
+                switches=switches,
+            )
+            for c in inner
+        ]
+
+    # FLUSH: raw pages, composed epoch x flush-segment key tags.
+    chunks = blocks >> np.int64(blocks_shift)
+    folded_chunks = (
+        contexts << np.int64(ASID_SHIFT - blocks_shift)
+    ) | chunks
+    large = np.asarray(decisions.large, dtype=bool)
+    plan = _event_plan(folded_chunks, decisions)
+    flush_epoch = np.cumsum(switch_boundaries(contexts)).astype(np.int64)
+    factor = np.int64(switches + 1)
+    span2 = np.int64(plan.num_events + 1) * factor
+    combined = plan.epoch * factor + flush_epoch
+    page = np.where(large, chunks, blocks)
+    keys = ((page << np.int64(1)) | large.astype(np.int64)) * span2 + combined
+    key_stride = np.int64((int(keys.max()) if n else 0) + 2)
+    chunk_mask = np.int64((1 << (ASID_SHIFT - blocks_shift)) - 1)
+    large_total = int(np.count_nonzero(large))
+    refs = np.arange(n, dtype=np.int64)
+
+    family_caps: Dict[Tuple[str, int], Set[int]] = {}
+    for config in configs:
+        fam_key, capacity = _family_of(config)
+        family_caps.setdefault(fam_key, set()).add(capacity)
+
+    families: Dict[Tuple[str, int], _SetFamilyAnalysis] = {}
+    for fam_key, caps in family_caps.items():
+        kind, num_sets = fam_key
+        sets_arr = _unified_set_stream(kind, num_sets, blocks, chunks, page)
+        family = _SetFamilyAnalysis(keys, sets_arr, refs, large, caps)
+        family.attach_tombstones(
+            *_flush_tombstones(
+                plan,
+                blocks,
+                flush_epoch,
+                combined,
+                chunk_mask,
+                kind,
+                num_sets,
+                span2,
+                key_stride,
+            )
+        )
+        families[fam_key] = family
+
+    results: List[MultiprogTwoSizeCounts] = []
+    for config in configs:
+        fam_key, capacity = _family_of(config)
+        misses, large_misses, invalidations = families[fam_key].counts(capacity)
+        if (
+            not config.fully_associative
+            and config.scheme is IndexingScheme.EXACT_INDEX
+            and config.probe_strategy is ProbeStrategy.SEQUENTIAL
+        ):
+            reprobes = large_total + (misses - large_misses)
+        else:
+            reprobes = 0
+        results.append(
+            MultiprogTwoSizeCounts(
+                misses=misses,
+                large_misses=large_misses,
+                reprobes=reprobes,
+                invalidations=invalidations,
+                switches=switches,
+            )
+        )
+    return results
+
+

@@ -1,0 +1,160 @@
+"""Victim-stream reconstruction kernel for two-level TLB hierarchies.
+
+A :class:`~repro.tlb.twolevel.TwoLevelTLB` probes the L2 only when the
+L1 misses, so the L2's reference stream *is* the L1 miss subsequence —
+no separate victim bookkeeping is needed.  The epoch-segmented analysis
+of :mod:`repro.perf.twosize` already computes, per collapsed reference,
+an exact LRU stack depth plus the sparse invalidation corrections; a
+reference misses in an ``a``-way L1 exactly when its corrected depth is
+cold or ``>= a``.  Reconstructing that per-reference miss mask (rather
+than only the aggregate histogram counts) yields the L2 access trace,
+and the *same* stack identity applied to the subsequence serves every
+requested L2 geometry from one pass:
+
+1. run the unified two-size analysis for the L1 family and extract
+   ``miss_ref_indices(l1_ways)`` — the sorted original indices of L1
+   misses;
+2. slice the key/set/size streams down to that subsequence and run a
+   second family analysis per L2 geometry.  Shootdown tombstones are
+   filtered to subsequence members: the L2 can only ever hold what the
+   L1 miss stream inserted;
+3. compose: overall misses are the L2 analysis' misses (both levels
+   missed), ``l2_hits`` is the subsequence length minus those, and
+   invalidations sum both levels' resident deletions — exactly the
+   scalar composite's accounting.
+
+Bit-identical to walking :class:`TwoLevelTLB` objects, for LRU at both
+levels (the vector-kernel precondition shared with the flat kernels).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.perf.twosize import (
+    _event_plan,
+    _family_of,
+    _require_lru,
+    _SetFamilyAnalysis,
+    _unified_set_stream,
+    _unified_tombstones,
+)
+
+if TYPE_CHECKING:  # import cycle: sim.config pulls in the driver package
+    from repro.policy.vector import PolicyDecisions
+    from repro.sim.config import TLBConfig
+
+__all__ = ["TwoLevelCounts", "two_level_counts"]
+
+
+@dataclass(frozen=True)
+class TwoLevelCounts:
+    """Exact composite counters of one two-level hierarchy pass.
+
+    ``misses`` are full misses (both levels missed — software walks);
+    ``l2_hits`` are L1 misses satisfied by the L2; ``invalidations``
+    sum the resident shootdown deletions of both levels.
+    """
+
+    misses: int
+    large_misses: int
+    l2_hits: int
+    invalidations: int
+
+
+def two_level_counts(
+    blocks: np.ndarray,
+    blocks_shift: int,
+    decisions: PolicyDecisions,
+    l1_config: TLBConfig,
+    l2_configs: Sequence[TLBConfig],
+) -> List[TwoLevelCounts]:
+    """Evaluate every L2 geometry behind one L1 from a single pass.
+
+    ``blocks``/``blocks_shift``/``decisions`` are exactly the inputs of
+    :func:`repro.perf.twosize.two_size_counts`; a single-size hierarchy
+    is the degenerate case of an all-small decision stream (no events).
+    The L1 analysis runs once; each L2 configuration reuses the
+    reconstructed L1 miss stream.
+    """
+    l2_configs = list(l2_configs)
+    if not l2_configs:
+        return []
+    _require_lru([l1_config, *l2_configs])
+    blocks = np.asarray(blocks, dtype=np.int64)
+    n = int(blocks.size)
+    if int(decisions.large.size) != n:
+        raise ConfigurationError(
+            f"decision stream covers {decisions.large.size} references, "
+            f"trace has {n}"
+        )
+    chunks = blocks >> np.int64(blocks_shift)
+    large = np.asarray(decisions.large, dtype=bool)
+    plan = _event_plan(chunks, decisions)
+    span = np.int64(plan.num_events + 1)
+    page = np.where(large, chunks, blocks)
+    keys = ((page << np.int64(1)) | large.astype(np.int64)) * span + plan.epoch
+    key_stride = np.int64((int(keys.max()) if n else 0) + 2)
+    refs = np.arange(n, dtype=np.int64)
+
+    # Level 1: one family, one capacity, plus the per-reference miss
+    # stream that becomes the L2 trace.
+    (l1_kind, l1_sets), l1_capacity = _family_of(l1_config)
+    l1_family = _SetFamilyAnalysis(
+        keys,
+        _unified_set_stream(l1_kind, l1_sets, blocks, chunks, page),
+        refs,
+        large,
+        [l1_capacity],
+    )
+    l1_family.attach_tombstones(
+        *_unified_tombstones(plan, blocks, l1_kind, l1_sets, span, key_stride)
+    )
+    _, _, l1_invalidations = l1_family.counts(l1_capacity)
+    sub = l1_family.miss_ref_indices(l1_capacity)
+
+    sub_blocks = blocks[sub]
+    sub_chunks = chunks[sub]
+    sub_page = page[sub]
+    sub_keys = keys[sub]
+    sub_large = large[sub]
+    substream = int(sub.size)
+
+    family_caps: Dict[Tuple[str, int], Set[int]] = {}
+    for config in l2_configs:
+        fam_key, capacity = _family_of(config)
+        family_caps.setdefault(fam_key, set()).add(capacity)
+
+    families: Dict[Tuple[str, int], _SetFamilyAnalysis] = {}
+    for fam_key, caps in family_caps.items():
+        kind, num_sets = fam_key
+        sets_arr = _unified_set_stream(
+            kind, num_sets, sub_blocks, sub_chunks, sub_page
+        )
+        family = _SetFamilyAnalysis(sub_keys, sets_arr, sub, sub_large, caps)
+        family.attach_tombstones(
+            *_unified_tombstones(
+                plan, blocks, kind, num_sets, span, key_stride, member_of=sub
+            )
+        )
+        families[fam_key] = family
+
+    results: List[TwoLevelCounts] = []
+    for config in l2_configs:
+        fam_key, capacity = _family_of(config)
+        misses, large_misses, l2_invalidations = families[fam_key].counts(
+            capacity
+        )
+        results.append(
+            TwoLevelCounts(
+                misses=misses,
+                large_misses=large_misses,
+                l2_hits=substream - misses,
+                invalidations=l1_invalidations + l2_invalidations,
+            )
+        )
+    return results

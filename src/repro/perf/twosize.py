@@ -431,7 +431,7 @@ class _SetFamilyAnalysis:
                 for t in stage_ts
             ]
             self._query_jobs.append(
-                (stages, int(self.depth[q]), bool(self.clarge[q]))
+                (int(q), stages, int(self.depth[q]), bool(self.clarge[q]))
             )
 
     # -- per-capacity scans --------------------------------------------
@@ -477,7 +477,7 @@ class _SetFamilyAnalysis:
             resident = self._residency(capacity)
             corrections = 0
             corrections_large = 0
-            for stages, depth, is_large in self._query_jobs:
+            for _q, stages, depth, is_large in self._query_jobs:
                 if depth < capacity:
                     continue
                 if self._survives(stages, depth, capacity, resident):
@@ -494,6 +494,34 @@ class _SetFamilyAnalysis:
             result = (misses, large_misses, int(resident.sum()))
         self._counts_memo[capacity] = result
         return result
+
+    def miss_ref_indices(self, capacity: int) -> np.ndarray:
+        """Original reference indices that miss at ``capacity`` ways, sorted.
+
+        Per-reference reconstruction of the miss stream the per-capacity
+        histogram scan aggregates away: a collapsed position misses
+        naively when its depth is cold (``-1``) or at/after ``capacity``,
+        and the invalidation correction pass flips exactly the warm
+        queries whose entry survives the tombstone stages.  Run-collapsed
+        positions are always hits and never appear.  This is what turns
+        the L1 depth arrays into the L2 reference stream of a two-level
+        hierarchy: the victim/miss subsequence *is* the L2 access trace.
+        """
+        capacity = int(capacity)
+        if capacity not in self._caps:
+            raise ConfigurationError(
+                f"capacity {capacity} was not requested for this family"
+            )
+        if self.cn == 0:
+            return np.empty(0, dtype=np.int64)
+        miss = (self.depth < 0) | (self.depth >= capacity)
+        resident = self._residency(capacity)
+        for q, stages, depth, _is_large in self._query_jobs:
+            if depth < capacity:
+                continue
+            if self._survives(stages, depth, capacity, resident):
+                miss[q] = False
+        return np.sort(self.cref[miss])
 
     def occupancy(self, capacity: int) -> int:
         """Entries resident at the end of the trace, at ``capacity`` ways."""
@@ -576,6 +604,7 @@ def _unified_tombstones(
     num_sets: int,
     span: np.int64,
     key_stride: np.int64,
+    member_of: "np.ndarray | None" = None,
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
     """Event deletions for one unified family, in event order.
 
@@ -585,6 +614,11 @@ def _unified_tombstones(
     under SMALL_INDEX).  A zero-length ended epoch deletes nothing —
     nothing of it was ever inserted, and earlier same-parity entries
     were already shot down by the previous event of the other kind.
+
+    ``member_of`` (a sorted reference-index array) restricts deletions
+    to references that actually reached the structure — the two-level
+    kernel's L2 only holds pages that missed in L1, so a shootdown can
+    only delete what the L1 miss stream inserted.
     """
     mask = np.int64(num_sets - 1)
     sets_out: List[np.ndarray] = []
@@ -593,6 +627,11 @@ def _unified_tombstones(
     eref_out: List[np.ndarray] = []
     for j in range(plan.num_events):
         refs = plan.ended_refs(j)
+        if member_of is not None and refs.size:
+            pos = np.searchsorted(member_of, refs)
+            keep = pos < member_of.size
+            keep[keep] = member_of[pos[keep]] == refs[keep]
+            refs = refs[keep]
         if refs.size == 0:
             continue
         chunk = int(plan.ev_chunk[j])

@@ -1,17 +1,28 @@
 """Simulation drivers: declarative configs, single-size and two-size runs,
 and the all-associativity configuration sweep."""
 
-from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.sim.config import (
+    SingleSizeScheme,
+    TLBConfig,
+    TwoLevelConfig,
+    TwoSizeScheme,
+)
 from repro.sim.driver import (
     RunResult,
+    TwoLevelRunResult,
     run_single_size,
+    run_two_level,
     run_two_sizes,
     run_with_policy,
+    sweep_two_level,
 )
 from repro.sim.multiprog import (
     MultiprogramResult,
+    TwoSizeMultiprogramResult,
     run_multiprogrammed,
+    run_multiprogrammed_two_sizes,
     sweep_multiprogrammed,
+    sweep_multiprogrammed_two_sizes,
 )
 from repro.sim.sweep import sweep_single_size
 
@@ -20,11 +31,17 @@ __all__ = [
     "RunResult",
     "SingleSizeScheme",
     "TLBConfig",
+    "TwoLevelConfig",
+    "TwoLevelRunResult",
+    "TwoSizeMultiprogramResult",
     "TwoSizeScheme",
     "run_multiprogrammed",
+    "run_multiprogrammed_two_sizes",
     "run_single_size",
+    "run_two_level",
     "run_two_sizes",
     "run_with_policy",
     "sweep_multiprogrammed",
+    "sweep_multiprogrammed_two_sizes",
     "sweep_single_size",
 ]

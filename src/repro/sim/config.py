@@ -9,6 +9,8 @@ page-size regime.
 
 from __future__ import annotations
 
+import json
+import zlib
 from dataclasses import dataclass
 from typing import Optional
 
@@ -18,6 +20,7 @@ from repro.tlb.fully_assoc import FullyAssociativeTLB
 from repro.tlb.indexing import IndexingScheme, ProbeStrategy
 from repro.tlb.replacement import make_replacement_policy
 from repro.tlb.set_assoc import SetAssociativeTLB
+from repro.tlb.twolevel import TwoLevelTLB
 from repro.types import PAIR_4KB_32KB, PageSizePair, format_size
 
 
@@ -78,9 +81,21 @@ class TLBConfig:
             "replacement": self.replacement,
         }
 
+    def replacement_seed(self) -> int:
+        """Deterministic RNG seed for this shape's replacement policy.
+
+        Derived from the configuration itself (never global ``random``
+        state), so repeated runs of the same config produce identical
+        random-replacement victim sequences and cacheable results.
+        """
+        canonical = json.dumps(self.cache_parts(), sort_keys=True)
+        return zlib.crc32(canonical.encode("utf-8"))
+
     def build(self) -> TLB:
         """Construct a fresh TLB model for one simulation run."""
-        replacement = make_replacement_policy(self.replacement)
+        replacement = make_replacement_policy(
+            self.replacement, seed=self.replacement_seed()
+        )
         if self.fully_associative:
             return FullyAssociativeTLB(self.entries, replacement=replacement)
         return SetAssociativeTLB(
@@ -89,6 +104,46 @@ class TLBConfig:
             self.scheme,
             probe_strategy=self.probe_strategy,
             replacement=replacement,
+        )
+
+
+@dataclass(frozen=True)
+class TwoLevelConfig:
+    """A two-level TLB hierarchy shape: a micro-TLB backed by an L2.
+
+    Attributes:
+        level1: the small first-level shape (on the lookup critical path).
+        level2: the larger backing shape probed on an L1 miss.
+        l2_hit_cycles: stall cycles charged per L1-miss/L2-hit.
+    """
+
+    level1: TLBConfig
+    level2: TLBConfig
+    l2_hit_cycles: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.l2_hit_cycles < 0:
+            raise ConfigurationError("l2_hit_cycles must be non-negative")
+
+    @property
+    def label(self) -> str:
+        """Short name, e.g. ``"4e-FA+32e-FA"``."""
+        return f"{self.level1.label}+{self.level2.label}"
+
+    def cache_parts(self) -> dict:
+        """This hierarchy as JSON-stable key parts for the result cache."""
+        return {
+            "level1": self.level1.cache_parts(),
+            "level2": self.level2.cache_parts(),
+            "l2_hit_cycles": self.l2_hit_cycles,
+        }
+
+    def build(self) -> TwoLevelTLB:
+        """Construct a fresh two-level hierarchy for one simulation run."""
+        return TwoLevelTLB(
+            self.level1.build(),
+            self.level2.build(),
+            l2_hit_cycles=self.l2_hit_cycles,
         )
 
 

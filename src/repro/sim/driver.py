@@ -18,12 +18,17 @@ Two entry points:
 * :func:`run_split_two_sizes` — the split per-size organisation
   (Section 2.2 option c) as one composite result, with end-of-trace
   component occupancies for the utilisation ablation.
+* :func:`run_two_level` / :func:`sweep_two_level` — a micro-TLB backed
+  by an L2, under either page-size regime.  The vector path
+  reconstructs the L1 miss stream once and serves every L2 geometry
+  from it (:mod:`repro.perf.twolevel`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -41,17 +46,30 @@ from repro.mem.misshandler import (
 from repro.metrics.cpi import TLBPerformance
 from repro.perf.kernels import (
     KERNEL_AUTO,
+    KERNEL_SAMPLED,
     KERNEL_VECTOR,
-    resolve_kernel,
+    KernelChoice,
+    choose_kernel,
     stack_depths,
 )
+from repro.perf.sampled import SAMPLED_REPLACEMENTS, sampled_replacement_counts
+from repro.perf.twolevel import two_level_counts
 from repro.perf.twosize import split_two_size_counts, two_size_counts
 from repro.policy.promotion import (
     DynamicPromotionPolicy,
     PageSizeAssignmentPolicy,
 )
-from repro.policy.vector import policy_decisions, supports_vector_decisions
-from repro.sim.config import SingleSizeScheme, TLBConfig, TwoSizeScheme
+from repro.policy.vector import (
+    PolicyDecisions,
+    policy_decisions,
+    supports_vector_decisions,
+)
+from repro.sim.config import (
+    SingleSizeScheme,
+    TLBConfig,
+    TwoLevelConfig,
+    TwoSizeScheme,
+)
 from repro.tlb.indexing import IndexingScheme, ProbeStrategy
 from repro.tlb.split import SplitTLB
 from repro.trace.record import Trace
@@ -74,6 +92,10 @@ class RunResult:
         promotions / demotions: policy transitions during the run.
         refs_per_instruction: the trace's RPI.
         miss_penalty_cycles: penalty charged per miss for CPI_TLB.
+        resolved_kernel / fallback_reason: audit trail of the kernel
+            switch (excluded from equality so oracle comparisons hold).
+        sampling: sampled-kernel estimator metadata (None for exact
+            kernels): sampled/total set counts, stderr and the 95% CI.
     """
 
     trace_name: str
@@ -88,6 +110,15 @@ class RunResult:
     demotions: int
     refs_per_instruction: float
     miss_penalty_cycles: float
+    resolved_kernel: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
+    fallback_reason: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
+    sampling: Optional[Dict[str, Any]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def performance(self) -> TLBPerformance:
@@ -130,6 +161,9 @@ class RunResult:
             "demotions": int(self.demotions),
             "refs_per_instruction": float(self.refs_per_instruction),
             "miss_penalty_cycles": float(self.miss_penalty_cycles),
+            "resolved_kernel": self.resolved_kernel,
+            "fallback_reason": self.fallback_reason,
+            "sampling": self.sampling,
         }
 
     @classmethod
@@ -158,6 +192,9 @@ class RunResult:
             demotions=int(payload["demotions"]),
             refs_per_instruction=float(payload["refs_per_instruction"]),
             miss_penalty_cycles=float(payload["miss_penalty_cycles"]),
+            resolved_kernel=payload.get("resolved_kernel"),
+            fallback_reason=payload.get("fallback_reason"),
+            sampling=payload.get("sampling"),
         )
 
 
@@ -168,6 +205,7 @@ def run_single_size(
     *,
     base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
     kernel: str = KERNEL_AUTO,
+    exact: bool = False,
     cache: Optional[SimulationCache] = None,
 ) -> RunResult:
     """Simulate one single-page-size TLB over ``trace``.
@@ -178,40 +216,69 @@ def run_single_size(
     of one grouped depth computation, and reprobes follow from the probe
     strategy (in single-size mode the large-page probe of an
     EXACT_INDEX sequential lookup never hits, so every miss costs
-    exactly one reprobe).  Non-LRU replacement is stateful and stays on
-    the scalar model; ``kernel="auto"`` falls back silently,
-    ``kernel="vector"`` raises.
+    exactly one reprobe).  FIFO and random replacement have no stack
+    identity and run on the sampled-set kernel
+    (:mod:`repro.perf.sampled`) — a statistical estimate with reported
+    error bounds (``result.sampling``); ``exact=True`` walks every set
+    and reproduces the scalar model bit-exactly.  Only PLRU remains on
+    the scalar walk, and ``kernel="auto"`` announces that fallback with
+    a :class:`~repro.perf.kernels.KernelFallbackWarning`.
 
     With a ``cache``, the result is looked up by content address (trace
     fingerprint + config + kernel + penalty) before simulating, and
     stored after; see :mod:`repro.parallel.cache`.
     """
     faultinject.check("sim.driver.run_single_size")
-    resolved = resolve_kernel(
-        kernel, vector_supported=config.replacement == "lru"
+    choice = choose_kernel(
+        kernel,
+        vector_supported=config.replacement == "lru",
+        sampled_supported=config.replacement in SAMPLED_REPLACEMENTS,
+        reason=(
+            f"replacement {config.replacement!r} has neither a vector "
+            f"nor a sampled kernel"
+        ),
     )
     key: Optional[str] = None
     if cache is not None:
-        key = canonical_key(
-            {
-                "version": CACHE_KEY_VERSION,
-                "kind": "single",
-                "trace": trace.fingerprint,
-                "page_size": scheme.page_size,
-                "config": config.cache_parts(),
-                "base_penalty": base_penalty,
-                "kernel": resolved,
-            }
-        )
+        key_parts = {
+            "version": CACHE_KEY_VERSION,
+            "kind": "single",
+            "trace": trace.fingerprint,
+            "page_size": scheme.page_size,
+            "config": config.cache_parts(),
+            "base_penalty": base_penalty,
+            "kernel": choice.kernel,
+        }
+        if choice.kernel == KERNEL_SAMPLED:
+            key_parts["exact"] = exact
+        key = canonical_key(key_parts)
         payload = cache.get(key)
         if payload is not None:
             return RunResult.from_payload(payload)
     result = _run_single_size_uncached(
-        trace, scheme, config, base_penalty=base_penalty, kernel=resolved
+        trace,
+        scheme,
+        config,
+        base_penalty=base_penalty,
+        choice=choice,
+        exact=exact,
     )
     if cache is not None:
         cache.put(key, result.to_payload())
     return result
+
+
+def _sample_seed(trace: Trace, scheme: SingleSizeScheme, config: TLBConfig) -> int:
+    """Deterministic set-sample seed, derived from the cache-key parts."""
+    return zlib.crc32(
+        canonical_key(
+            {
+                "trace": trace.fingerprint,
+                "page_size": scheme.page_size,
+                "config": config.cache_parts(),
+            }
+        ).encode("utf-8")
+    )
 
 
 def _run_single_size_uncached(
@@ -220,11 +287,32 @@ def _run_single_size_uncached(
     config: TLBConfig,
     *,
     base_penalty: float,
-    kernel: str,
+    choice: KernelChoice,
+    exact: bool = False,
 ) -> RunResult:
-    # ``kernel`` arrives already resolved ("scalar" or "vector"); the
-    # resolved identity is also what the cache key records, so "auto"
-    # and an explicit request share entries.
+    # ``choice`` arrives already resolved; the resolved identity is also
+    # what the cache key records, so "auto" and an explicit request
+    # share entries.
+    kernel = choice.kernel
+    common = dict(
+        trace_name=trace.name,
+        scheme_label=scheme.label,
+        config=config,
+        references=len(trace),
+        large_misses=0,
+        invalidations=0,
+        promotions=0,
+        demotions=0,
+        refs_per_instruction=trace.refs_per_instruction,
+        miss_penalty_cycles=base_penalty,
+        resolved_kernel=kernel,
+        fallback_reason=choice.fallback_reason,
+    )
+    sequential_exact = (
+        not config.fully_associative
+        and config.scheme is IndexingScheme.EXACT_INDEX
+        and config.probe_strategy is ProbeStrategy.SEQUENTIAL
+    )
     if kernel == KERNEL_VECTOR:
         pages = np.asarray(
             trace.addresses >> np.uint32(log2_exact(scheme.page_size)),
@@ -233,30 +321,40 @@ def _run_single_size_uncached(
         if config.fully_associative:
             depths = stack_depths(pages)
             capacity = config.entries
-            sequential_exact = False
         else:
             sets = config.entries // config.associativity
             depths = stack_depths(pages, groups=pages & (sets - 1))
             capacity = config.associativity
-            sequential_exact = (
-                config.scheme is IndexingScheme.EXACT_INDEX
-                and config.probe_strategy is ProbeStrategy.SEQUENTIAL
-            )
         misses = depths.misses(capacity)
-        reprobes = misses if sequential_exact else 0
         return RunResult(
-            trace_name=trace.name,
-            scheme_label=scheme.label,
-            config=config,
-            references=len(trace),
             misses=misses,
-            large_misses=0,
-            reprobes=reprobes,
-            invalidations=0,
-            promotions=0,
-            demotions=0,
-            refs_per_instruction=trace.refs_per_instruction,
-            miss_penalty_cycles=base_penalty,
+            reprobes=misses if sequential_exact else 0,
+            **common,
+        )
+    if kernel == KERNEL_SAMPLED:
+        pages = np.asarray(
+            trace.addresses >> np.uint32(log2_exact(scheme.page_size)),
+            dtype=np.int64,
+        )
+        counts = sampled_replacement_counts(
+            pages,
+            config,
+            sample_seed=_sample_seed(trace, scheme, config),
+            replacement_seed=config.replacement_seed(),
+            exact=exact,
+        )
+        return RunResult(
+            misses=counts.misses,
+            reprobes=counts.misses if sequential_exact else 0,
+            sampling={
+                "exact": counts.exact,
+                "sampled_sets": counts.sampled_sets,
+                "total_sets": counts.total_sets,
+                "stderr": counts.stderr,
+                "ci_low": counts.ci_low,
+                "ci_high": counts.ci_high,
+            },
+            **common,
         )
     tlb = config.build()
     pages = (trace.addresses >> np.uint32(log2_exact(scheme.page_size))).tolist()
@@ -264,18 +362,9 @@ def _run_single_size_uncached(
     for page in pages:
         access(page)
     return RunResult(
-        trace_name=trace.name,
-        scheme_label=scheme.label,
-        config=config,
-        references=len(trace),
         misses=tlb.stats.misses,
-        large_misses=0,
         reprobes=tlb.stats.reprobes,
-        invalidations=0,
-        promotions=0,
-        demotions=0,
-        refs_per_instruction=trace.refs_per_instruction,
-        miss_penalty_cycles=base_penalty,
+        **common,
     )
 
 
@@ -314,7 +403,7 @@ def run_with_policy(
     if not configs:
         raise ConfigurationError("run_with_policy needs at least one TLBConfig")
     faultinject.check("sim.driver.run_with_policy")
-    resolved = _resolve_two_size_kernel(policy, configs, kernel)
+    choice = _resolve_two_size_kernel(policy, configs, kernel)
     keys: Optional[List[str]] = None
     if cache is not None:
         token = policy.cache_token()
@@ -329,7 +418,7 @@ def run_with_policy(
                         "config": config.cache_parts(),
                         "base_penalty": base_penalty,
                         "penalty_factor": penalty_factor,
-                        "kernel": resolved,
+                        "kernel": choice.kernel,
                     }
                 )
                 for config in configs
@@ -343,7 +432,7 @@ def run_with_policy(
         configs,
         base_penalty=base_penalty,
         penalty_factor=penalty_factor,
-        kernel=resolved,
+        choice=choice,
     )
     if keys is not None:
         for key, result in zip(keys, results):
@@ -355,19 +444,29 @@ def _resolve_two_size_kernel(
     policy: PageSizeAssignmentPolicy,
     configs: Sequence[TLBConfig],
     kernel: str,
-) -> str:
+) -> KernelChoice:
     """Resolve the kernel switch for a policy-driven two-size pass.
 
     The vector kernel needs both a replayable policy decision stream
     (``supports_vector_decisions``) and LRU replacement in every
     configuration — the epoch-segmented stack identity does not hold
     for history-dependent replacement.  ``"auto"`` falls back to the
-    scalar oracle otherwise; an explicit ``"vector"`` raises.
+    scalar oracle otherwise (announced with a
+    :class:`~repro.perf.kernels.KernelFallbackWarning`); an explicit
+    ``"vector"`` raises.
     """
-    vector_ok = supports_vector_decisions(policy) and all(
-        config.replacement == "lru" for config in configs
-    )
-    return resolve_kernel(kernel, vector_supported=vector_ok)
+    if not supports_vector_decisions(policy):
+        reason = (
+            "the policy instance is stale or unsupported by the "
+            "vectorized decision replay"
+        )
+    elif not all(config.replacement == "lru" for config in configs):
+        reason = (
+            "non-LRU replacement breaks the epoch-segmented stack identity"
+        )
+    else:
+        return choose_kernel(kernel, vector_supported=True)
+    return choose_kernel(kernel, vector_supported=False, reason=reason)
 
 
 def _run_with_policy_uncached(
@@ -377,15 +476,15 @@ def _run_with_policy_uncached(
     *,
     base_penalty: float,
     penalty_factor: float,
-    kernel: str,
+    choice: KernelChoice,
 ) -> List[RunResult]:
     pair = policy.pair
     blocks_shift = log2_exact(pair.blocks_per_chunk)
     block_array = trace.addresses >> np.uint32(pair.small_shift)
     penalty = base_penalty * penalty_factor
 
-    # ``kernel`` arrives resolved (see ``_resolve_two_size_kernel``).
-    if kernel == KERNEL_VECTOR:
+    # ``choice`` arrives resolved (see ``_resolve_two_size_kernel``).
+    if choice.kernel == KERNEL_VECTOR:
         decisions = policy_decisions(policy, block_array)
         counts = two_size_counts(
             np.asarray(block_array, dtype=np.int64),
@@ -407,6 +506,8 @@ def _run_with_policy_uncached(
                 demotions=decisions.demotions,
                 refs_per_instruction=trace.refs_per_instruction,
                 miss_penalty_cycles=penalty,
+                resolved_kernel=choice.kernel,
+                fallback_reason=choice.fallback_reason,
             )
             for config, result in zip(configs, counts)
         ]
@@ -448,6 +549,8 @@ def _run_with_policy_uncached(
             demotions=demotions,
             refs_per_instruction=trace.refs_per_instruction,
             miss_penalty_cycles=penalty,
+            resolved_kernel=choice.kernel,
+            fallback_reason=choice.fallback_reason,
         )
         for config, tlb in zip(configs, tlbs)
     ]
@@ -600,7 +703,7 @@ def run_split_two_sizes(
             promote_fraction=scheme.promote_fraction,
             demote_fraction=scheme.demote_fraction,
         )
-    resolved = _resolve_two_size_kernel(
+    choice = _resolve_two_size_kernel(
         policy, (small_config, large_config), kernel
     )
     key: Optional[str] = None
@@ -617,7 +720,7 @@ def run_split_two_sizes(
                     "large_config": large_config.cache_parts(),
                     "base_penalty": base_penalty,
                     "penalty_factor": penalty_factor,
-                    "kernel": resolved,
+                    "kernel": choice.kernel,
                 }
             )
             payload = cache.get(key)
@@ -632,7 +735,7 @@ def run_split_two_sizes(
         large_config,
         base_penalty=base_penalty,
         penalty_factor=penalty_factor,
-        kernel=resolved,
+        kernel=choice.kernel,
     )
     if key is not None:
         cache.put(key, result.to_payload())
@@ -710,3 +813,359 @@ def _run_split_two_sizes_uncached(
         refs_per_instruction=trace.refs_per_instruction,
         miss_penalty_cycles=penalty,
     )
+
+
+@dataclass(frozen=True)
+class TwoLevelRunResult:
+    """Outcome of simulating one two-level TLB hierarchy over one trace.
+
+    ``misses`` are full misses (both levels missed — software walks);
+    ``l2_hits`` are L1 misses the L2 absorbed, each charged
+    ``config.l2_hit_cycles`` instead of the full walk penalty.  The
+    hierarchy's CPI contribution therefore has two terms; see
+    :attr:`cpi_tlb`.
+    """
+
+    trace_name: str
+    scheme_label: str
+    config: TwoLevelConfig
+    references: int
+    misses: int
+    large_misses: int
+    l2_hits: int
+    invalidations: int
+    promotions: int
+    demotions: int
+    refs_per_instruction: float
+    miss_penalty_cycles: float
+    resolved_kernel: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
+    fallback_reason: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def miss_ratio(self) -> float:
+        """Full-miss ratio of the hierarchy (software walks / refs)."""
+        if self.references == 0:
+            return 0.0
+        return self.misses / self.references
+
+    @property
+    def cpi_tlb(self) -> float:
+        """TLB cycles per instruction: walk penalties plus L2-hit stalls."""
+        if self.references == 0:
+            return 0.0
+        instructions = self.references / self.refs_per_instruction
+        cycles = (
+            self.misses * self.miss_penalty_cycles
+            + self.l2_hits * self.config.l2_hit_cycles
+        )
+        return cycles / instructions
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form, for the result cache."""
+        return {
+            "trace_name": self.trace_name,
+            "scheme_label": self.scheme_label,
+            "config": self.config.cache_parts(),
+            "references": int(self.references),
+            "misses": int(self.misses),
+            "large_misses": int(self.large_misses),
+            "l2_hits": int(self.l2_hits),
+            "invalidations": int(self.invalidations),
+            "promotions": int(self.promotions),
+            "demotions": int(self.demotions),
+            "refs_per_instruction": float(self.refs_per_instruction),
+            "miss_penalty_cycles": float(self.miss_penalty_cycles),
+            "resolved_kernel": self.resolved_kernel,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], config: TwoLevelConfig
+    ) -> "TwoLevelRunResult":
+        """Rebuild a result stored by :meth:`to_payload`."""
+        return cls(
+            trace_name=payload["trace_name"],
+            scheme_label=payload["scheme_label"],
+            config=config,
+            references=int(payload["references"]),
+            misses=int(payload["misses"]),
+            large_misses=int(payload["large_misses"]),
+            l2_hits=int(payload["l2_hits"]),
+            invalidations=int(payload["invalidations"]),
+            promotions=int(payload["promotions"]),
+            demotions=int(payload["demotions"]),
+            refs_per_instruction=float(payload["refs_per_instruction"]),
+            miss_penalty_cycles=float(payload["miss_penalty_cycles"]),
+            resolved_kernel=payload.get("resolved_kernel"),
+            fallback_reason=payload.get("fallback_reason"),
+        )
+
+
+def _all_small_decisions(n: int) -> PolicyDecisions:
+    """The degenerate single-size decision stream: everything small."""
+    none = np.full(n, -1, dtype=np.int64)
+    return PolicyDecisions(
+        large=np.zeros(n, dtype=bool),
+        promoted=none,
+        demoted=none.copy(),
+        promotions=0,
+        demotions=0,
+    )
+
+
+def run_two_level(
+    trace: Trace,
+    scheme: Union[SingleSizeScheme, TwoSizeScheme],
+    config: TwoLevelConfig,
+    *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    policy: Optional[PageSizeAssignmentPolicy] = None,
+    kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
+) -> TwoLevelRunResult:
+    """Simulate one two-level TLB hierarchy over ``trace``.
+
+    Works under either page-size regime: a :class:`SingleSizeScheme`
+    runs the hierarchy conventionally; a :class:`TwoSizeScheme` drives
+    it through the dynamic promotion policy (shootdowns invalidate both
+    levels) and charges the two-size penalty factor on full misses.
+    See :func:`sweep_two_level` for the many-L2-geometries form.
+    """
+    return sweep_two_level(
+        trace,
+        scheme,
+        [config],
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+        policy=policy,
+        kernel=kernel,
+        cache=cache,
+    )[0]
+
+
+def sweep_two_level(
+    trace: Trace,
+    scheme: Union[SingleSizeScheme, TwoSizeScheme],
+    configs: Sequence[TwoLevelConfig],
+    *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    policy: Optional[PageSizeAssignmentPolicy] = None,
+    kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
+) -> List[TwoLevelRunResult]:
+    """Evaluate several L2 geometries behind one shared L1 in one pass.
+
+    All ``configs`` must share the same ``level1`` shape: the vector
+    kernel (:mod:`repro.perf.twolevel`) runs the L1 analysis once,
+    reconstructs its per-reference miss stream — which *is* the L2
+    reference trace — and serves every L2 geometry from that shared
+    subsequence.  The scalar oracle walks composite
+    :class:`~repro.tlb.twolevel.TwoLevelTLB` models per reference.
+
+    The vector kernel requires LRU at both levels (and, under a
+    two-size scheme, a replayable policy); ``kernel="auto"`` otherwise
+    falls back loudly with a
+    :class:`~repro.perf.kernels.KernelFallbackWarning`.
+    """
+    configs = list(configs)
+    if not configs:
+        raise ConfigurationError(
+            "sweep_two_level needs at least one TwoLevelConfig"
+        )
+    level1 = configs[0].level1
+    for config in configs[1:]:
+        if config.level1 != level1:
+            raise ConfigurationError(
+                "all configurations of one two-level sweep must share "
+                f"the L1 shape: {config.level1.label} != {level1.label}"
+            )
+    faultinject.check("sim.driver.sweep_two_level")
+    two_size = scheme.two_page_sizes
+    if two_size and policy is None:
+        policy = DynamicPromotionPolicy(
+            scheme.pair,
+            scheme.window,
+            promote_fraction=scheme.promote_fraction,
+            demote_fraction=scheme.demote_fraction,
+        )
+    all_lru = all(
+        c.level1.replacement == "lru" and c.level2.replacement == "lru"
+        for c in configs
+    )
+    if not all_lru:
+        choice = choose_kernel(
+            kernel,
+            vector_supported=False,
+            reason=(
+                "non-LRU replacement at either level breaks the "
+                "victim-stream reconstruction"
+            ),
+        )
+    elif two_size and not supports_vector_decisions(policy):
+        choice = choose_kernel(
+            kernel,
+            vector_supported=False,
+            reason=(
+                "the policy instance is stale or unsupported by the "
+                "vectorized decision replay"
+            ),
+        )
+    else:
+        choice = choose_kernel(kernel, vector_supported=True)
+    penalty = base_penalty * (penalty_factor if two_size else 1.0)
+
+    keys: Optional[List[str]] = None
+    if cache is not None:
+        token = policy.cache_token() if two_size else None
+        if not two_size or token is not None:
+            keys = [
+                canonical_key(
+                    {
+                        "version": CACHE_KEY_VERSION,
+                        "kind": "twolevel",
+                        "trace": trace.fingerprint,
+                        "scheme": (
+                            {"policy": token}
+                            if two_size
+                            else {"page_size": scheme.page_size}
+                        ),
+                        "config": config.cache_parts(),
+                        "base_penalty": base_penalty,
+                        "penalty_factor": penalty_factor,
+                        "kernel": choice.kernel,
+                    }
+                )
+                for config in configs
+            ]
+            payloads = [cache.get(key) for key in keys]
+            if all(payload is not None for payload in payloads):
+                return [
+                    TwoLevelRunResult.from_payload(p, config)
+                    for p, config in zip(payloads, configs)
+                ]
+    results = _sweep_two_level_uncached(
+        trace,
+        scheme,
+        configs,
+        policy=policy,
+        penalty=penalty,
+        choice=choice,
+    )
+    if keys is not None:
+        for key, result in zip(keys, results):
+            cache.put(key, result.to_payload())
+    return results
+
+
+def _sweep_two_level_uncached(
+    trace: Trace,
+    scheme: Union[SingleSizeScheme, TwoSizeScheme],
+    configs: List[TwoLevelConfig],
+    *,
+    policy: Optional[PageSizeAssignmentPolicy],
+    penalty: float,
+    choice: KernelChoice,
+) -> List[TwoLevelRunResult]:
+    two_size = scheme.two_page_sizes
+    if two_size:
+        pair = policy.pair
+        blocks_shift = log2_exact(pair.blocks_per_chunk)
+        block_array = trace.addresses >> np.uint32(pair.small_shift)
+        scheme_label = str(pair)
+    else:
+        blocks_shift = 0
+        block_array = trace.addresses >> np.uint32(
+            log2_exact(scheme.page_size)
+        )
+        scheme_label = scheme.label
+
+    if choice.kernel == KERNEL_VECTOR:
+        blocks = np.asarray(block_array, dtype=np.int64)
+        if two_size:
+            decisions = policy_decisions(policy, block_array)
+        else:
+            decisions = _all_small_decisions(int(blocks.size))
+        level1 = configs[0].level1
+        counts = two_level_counts(
+            blocks,
+            blocks_shift,
+            decisions,
+            level1,
+            [config.level2 for config in configs],
+        )
+        return [
+            TwoLevelRunResult(
+                trace_name=trace.name,
+                scheme_label=scheme_label,
+                config=config,
+                references=len(trace),
+                misses=result.misses,
+                large_misses=result.large_misses,
+                l2_hits=result.l2_hits,
+                invalidations=result.invalidations,
+                promotions=decisions.promotions,
+                demotions=decisions.demotions,
+                refs_per_instruction=trace.refs_per_instruction,
+                miss_penalty_cycles=penalty,
+                resolved_kernel=choice.kernel,
+                fallback_reason=choice.fallback_reason,
+            )
+            for config, result in zip(configs, counts)
+        ]
+
+    # Scalar oracle: composite TwoLevelTLB models walked per reference.
+    tlbs = [config.build() for config in configs]
+    if two_size:
+        blocks_per_chunk = policy.pair.blocks_per_chunk
+        decide = policy.access_block
+        for block in block_array.tolist():
+            decision = decide(block)
+            promoted = decision.promoted_chunk
+            demoted = decision.demoted_chunk
+            if promoted is not None or demoted is not None:
+                for tlb in tlbs:
+                    if demoted is not None:
+                        tlb.invalidate_large_page(demoted)
+                    if promoted is not None:
+                        tlb.invalidate_small_pages_of_chunk(
+                            promoted, blocks_per_chunk
+                        )
+            chunk = block >> blocks_shift
+            large = decision.large
+            for tlb in tlbs:
+                tlb.access(block, chunk, large)
+        promotions = getattr(policy, "promotions", 0)
+        demotions = getattr(policy, "demotions", 0)
+    else:
+        pages = block_array.tolist()
+        for tlb in tlbs:
+            access = tlb.access_single
+            for page in pages:
+                access(page)
+        promotions = demotions = 0
+    return [
+        TwoLevelRunResult(
+            trace_name=trace.name,
+            scheme_label=scheme_label,
+            config=config,
+            references=len(trace),
+            misses=tlb.stats.misses,
+            large_misses=tlb.stats.large_misses,
+            l2_hits=tlb.l2_hits,
+            invalidations=tlb.stats.invalidations,
+            promotions=promotions,
+            demotions=demotions,
+            refs_per_instruction=trace.refs_per_instruction,
+            miss_penalty_cycles=penalty,
+            resolved_kernel=choice.kernel,
+            fallback_reason=choice.fallback_reason,
+        )
+        for config, tlb in zip(configs, tlbs)
+    ]

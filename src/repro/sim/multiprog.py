@@ -19,29 +19,39 @@ walk remains the reference oracle behind ``kernel="scalar"``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.errors import ConfigurationError, SimulationError
-from repro.mem.misshandler import SINGLE_SIZE_PENALTY_CYCLES
+from repro.mem.misshandler import (
+    SINGLE_SIZE_PENALTY_CYCLES,
+    TWO_SIZE_PENALTY_FACTOR,
+)
 from repro.metrics.cpi import TLBPerformance
 from repro.parallel.cache import (
     CACHE_KEY_VERSION,
     SimulationCache,
     canonical_key,
 )
-from repro.perf.kernels import KERNEL_AUTO, KERNEL_VECTOR, resolve_kernel
+from repro.perf.kernels import KERNEL_AUTO, KERNEL_VECTOR, choose_kernel
 from repro.perf.multiprog import (
     MultiprogCounts,
     multiprog_counts,
     validate_multiprog_config,
 )
+from repro.perf.multiprog_twosize import (
+    MultiprogTwoSizeCounts,
+    fold_event_chunks,
+    multiprog_two_size_counts,
+)
+from repro.policy.promotion import DynamicPromotionPolicy
+from repro.policy.vector import PolicyDecisions, policy_decisions
 from repro.robustness import faultinject
 from repro.robustness.executor import UnitSpec, run_units
 from repro.robustness.retry import NO_RETRY
-from repro.sim.config import TLBConfig
+from repro.sim.config import TLBConfig, TwoSizeScheme
 from repro.tlb.context import ContextSwitchPolicy, MultiprogrammedTLB
 from repro.trace.mix import interleave_with_contexts
 from repro.trace.record import Trace
@@ -64,6 +74,8 @@ class MultiprogramResult:
         switches: context switches performed.
         refs_per_instruction: the mix's aggregate RPI.
         miss_penalty_cycles: penalty used for CPI.
+        resolved_kernel / fallback_reason: audit trail of the kernel
+            switch (excluded from equality so oracle comparisons hold).
     """
 
     program_names: Sequence[str]
@@ -74,6 +86,12 @@ class MultiprogramResult:
     switches: int
     refs_per_instruction: float
     miss_penalty_cycles: float
+    resolved_kernel: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
+    fallback_reason: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def performance(self) -> TLBPerformance:
@@ -99,6 +117,8 @@ class MultiprogramResult:
             "switches": int(self.switches),
             "refs_per_instruction": float(self.refs_per_instruction),
             "miss_penalty_cycles": float(self.miss_penalty_cycles),
+            "resolved_kernel": self.resolved_kernel,
+            "fallback_reason": self.fallback_reason,
         }
 
     @classmethod
@@ -113,6 +133,8 @@ class MultiprogramResult:
             switches=int(payload["switches"]),
             refs_per_instruction=float(payload["refs_per_instruction"]),
             miss_penalty_cycles=float(payload["miss_penalty_cycles"]),
+            resolved_kernel=payload.get("resolved_kernel"),
+            fallback_reason=payload.get("fallback_reason"),
         )
 
 
@@ -193,12 +215,14 @@ def sweep_multiprogrammed(
         )
     for config in configs:
         validate_multiprog_config(config)
-    resolved = resolve_kernel(
+    choice = choose_kernel(
         kernel,
         vector_supported=all(
             config.replacement == "lru" for config in configs
         ),
+        reason="non-LRU replacement breaks the epoch-segmented stack identity",
     )
+    resolved = choice.kernel
 
     program_names = tuple(trace.name for trace in traces)
     results: Dict[SweepKey, MultiprogramResult] = {}
@@ -265,6 +289,8 @@ def sweep_multiprogrammed(
                     switches=count.switches,
                     refs_per_instruction=mixed.refs_per_instruction,
                     miss_penalty_cycles=base_penalty,
+                    resolved_kernel=resolved,
+                    fallback_reason=choice.fallback_reason,
                 ).to_payload()
                 for count in counts
             ]
@@ -324,5 +350,407 @@ def _scalar_counts(
             tlb.access_single(page)
     return [
         MultiprogCounts(misses=tlb.stats.misses, switches=tlb.switches)
+        for tlb in tlbs
+    ]
+
+
+@dataclass(frozen=True)
+class TwoSizeMultiprogramResult:
+    """Outcome of one multiprogrammed *two-page-size* run.
+
+    Extends :class:`MultiprogramResult`'s counters with the two-size
+    accounting: each program runs its own dynamic promotion policy (the
+    per-address-space assignment design of Section 6), and the TLB
+    additionally reports large-page misses, sequential reprobes and
+    shootdown invalidations.
+    """
+
+    program_names: Sequence[str]
+    switch_policy: ContextSwitchPolicy
+    quantum: int
+    config: TLBConfig
+    references: int
+    misses: int
+    large_misses: int
+    reprobes: int
+    invalidations: int
+    promotions: int
+    demotions: int
+    switches: int
+    refs_per_instruction: float
+    miss_penalty_cycles: float
+    resolved_kernel: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
+    fallback_reason: Optional[str] = field(
+        default=None, compare=False, repr=False
+    )
+
+    @property
+    def performance(self) -> TLBPerformance:
+        return TLBPerformance(
+            misses=self.misses,
+            references=self.references,
+            refs_per_instruction=self.refs_per_instruction,
+            miss_penalty_cycles=self.miss_penalty_cycles,
+        )
+
+    @property
+    def cpi_tlb(self) -> float:
+        return self.performance.cpi_tlb
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serializable form, for the result cache."""
+        return {
+            "program_names": list(self.program_names),
+            "switch_policy": self.switch_policy.value,
+            "quantum": int(self.quantum),
+            "config": self.config.cache_parts(),
+            "references": int(self.references),
+            "misses": int(self.misses),
+            "large_misses": int(self.large_misses),
+            "reprobes": int(self.reprobes),
+            "invalidations": int(self.invalidations),
+            "promotions": int(self.promotions),
+            "demotions": int(self.demotions),
+            "switches": int(self.switches),
+            "refs_per_instruction": float(self.refs_per_instruction),
+            "miss_penalty_cycles": float(self.miss_penalty_cycles),
+            "resolved_kernel": self.resolved_kernel,
+            "fallback_reason": self.fallback_reason,
+        }
+
+    @classmethod
+    def from_payload(
+        cls, payload: Dict[str, Any], config: TLBConfig
+    ) -> "TwoSizeMultiprogramResult":
+        """Rebuild a result stored by :meth:`to_payload`."""
+        return cls(
+            program_names=tuple(payload["program_names"]),
+            switch_policy=ContextSwitchPolicy(payload["switch_policy"]),
+            quantum=int(payload["quantum"]),
+            config=config,
+            references=int(payload["references"]),
+            misses=int(payload["misses"]),
+            large_misses=int(payload["large_misses"]),
+            reprobes=int(payload["reprobes"]),
+            invalidations=int(payload["invalidations"]),
+            promotions=int(payload["promotions"]),
+            demotions=int(payload["demotions"]),
+            switches=int(payload["switches"]),
+            refs_per_instruction=float(payload["refs_per_instruction"]),
+            miss_penalty_cycles=float(payload["miss_penalty_cycles"]),
+            resolved_kernel=payload.get("resolved_kernel"),
+            fallback_reason=payload.get("fallback_reason"),
+        )
+
+
+def _fresh_policy(scheme: TwoSizeScheme) -> DynamicPromotionPolicy:
+    return DynamicPromotionPolicy(
+        scheme.pair,
+        scheme.window,
+        promote_fraction=scheme.promote_fraction,
+        demote_fraction=scheme.demote_fraction,
+    )
+
+
+def _composed_decisions(
+    blocks: np.ndarray,
+    contexts: np.ndarray,
+    scheme: TwoSizeScheme,
+    num_programs: int,
+    blocks_shift: int,
+) -> PolicyDecisions:
+    """Interleave per-program policy decision streams into one.
+
+    Each program's fresh policy replays over *its own* block
+    subsequence (policies are per-address-space software state and see
+    nothing across switches); the promoted/demoted chunk columns are
+    folded into the program's private namespace so the composed event
+    plan keeps the state machines independent.
+    """
+    n = int(blocks.size)
+    large = np.zeros(n, dtype=bool)
+    promoted = np.full(n, -1, dtype=np.int64)
+    demoted = np.full(n, -1, dtype=np.int64)
+    promotions = demotions = 0
+    for ctx in range(num_programs):
+        idx = np.flatnonzero(contexts == ctx)
+        if idx.size == 0:
+            continue
+        d = policy_decisions(_fresh_policy(scheme), blocks[idx])
+        large[idx] = d.large
+        promoted[idx] = fold_event_chunks(ctx, d.promoted, blocks_shift)
+        demoted[idx] = fold_event_chunks(ctx, d.demoted, blocks_shift)
+        promotions += d.promotions
+        demotions += d.demotions
+    return PolicyDecisions(
+        large=large,
+        promoted=promoted,
+        demoted=demoted,
+        promotions=promotions,
+        demotions=demotions,
+    )
+
+
+def run_multiprogrammed_two_sizes(
+    traces: Sequence[Trace],
+    config: TLBConfig,
+    *,
+    scheme: TwoSizeScheme = TwoSizeScheme(),
+    quantum: int = 20_000,
+    switch_policy: ContextSwitchPolicy = ContextSwitchPolicy.ASID,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
+) -> TwoSizeMultiprogramResult:
+    """Simulate a multiprogrammed mix under the two-page-size scheme.
+
+    The single-cell case of :func:`sweep_multiprogrammed_two_sizes`.
+    """
+    results = sweep_multiprogrammed_two_sizes(
+        traces,
+        (config,),
+        scheme=scheme,
+        quanta=(quantum,),
+        policies=(switch_policy,),
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+        kernel=kernel,
+        cache=cache,
+    )
+    return results[(switch_policy.value, quantum, config.label)]
+
+
+def sweep_multiprogrammed_two_sizes(
+    traces: Sequence[Trace],
+    configs: Sequence[TLBConfig],
+    *,
+    scheme: TwoSizeScheme = TwoSizeScheme(),
+    quanta: Sequence[int] = (20_000,),
+    policies: Sequence[ContextSwitchPolicy] = (
+        ContextSwitchPolicy.FLUSH,
+        ContextSwitchPolicy.ASID,
+    ),
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    kernel: str = KERNEL_AUTO,
+    cache: Optional[SimulationCache] = None,
+    jobs: Optional[int] = None,
+) -> Dict[SweepKey, TwoSizeMultiprogramResult]:
+    """Quantum x policy x geometry grid of multiprogrammed two-size runs.
+
+    Each program runs its *own* dynamic promotion policy built from
+    ``scheme`` — the per-address-space page-size assignment the paper's
+    Section 6 leaves to the OS.  The vector path composes the
+    per-program decision streams once per quantum and hands every
+    (policy, geometry) cell to the composed kernel
+    (:mod:`repro.perf.multiprog_twosize`); the scalar oracle walks
+    :class:`~repro.tlb.context.MultiprogrammedTLB` wrappers with
+    per-program policy objects and forwarded shootdowns.  Cell fan-out,
+    failure isolation and caching (kind ``"multiprog2"``) mirror
+    :func:`sweep_multiprogrammed`.
+
+    Returns a dict keyed by ``(policy.value, quantum, config.label)``.
+    """
+    faultinject.check("sim.multiprog.sweep_two_sizes")
+    if not traces:
+        raise ConfigurationError("need at least one trace to mix")
+    if not configs:
+        raise ConfigurationError(
+            "sweep_multiprogrammed_two_sizes needs at least one TLBConfig"
+        )
+    if not quanta:
+        raise ConfigurationError(
+            "sweep_multiprogrammed_two_sizes needs at least one quantum"
+        )
+    if not policies:
+        raise ConfigurationError(
+            "sweep_multiprogrammed_two_sizes needs at least one switch policy"
+        )
+    choice = choose_kernel(
+        kernel,
+        vector_supported=all(
+            config.replacement == "lru" for config in configs
+        ),
+        reason="non-LRU replacement breaks the epoch-segmented stack identity",
+    )
+    scheme_token = _fresh_policy(scheme).cache_token()
+
+    program_names = tuple(trace.name for trace in traces)
+    penalty = base_penalty * penalty_factor
+    results: Dict[SweepKey, TwoSizeMultiprogramResult] = {}
+    pending: Dict[Tuple[int, ContextSwitchPolicy], List[Any]] = {}
+    for quantum in quanta:
+        for policy in policies:
+            for config in configs:
+                key: Optional[str] = None
+                if cache is not None:
+                    key = canonical_key(
+                        {
+                            "version": CACHE_KEY_VERSION,
+                            "kind": "multiprog2",
+                            "traces": [t.fingerprint for t in traces],
+                            "quantum": quantum,
+                            "policy": policy.value,
+                            "scheme": scheme_token,
+                            "config": config.cache_parts(),
+                            "base_penalty": base_penalty,
+                            "penalty_factor": penalty_factor,
+                            "kernel": choice.kernel,
+                        }
+                    )
+                    payload = cache.get(key)
+                    if payload is not None:
+                        results[(policy.value, quantum, config.label)] = (
+                            TwoSizeMultiprogramResult.from_payload(
+                                payload, config
+                            )
+                        )
+                        continue
+                pending.setdefault((quantum, policy), []).append(
+                    (config, key)
+                )
+    if not pending:
+        return results
+
+    # Build each quantum's interleaving and composed decision stream
+    # exactly once, in the parent, shared by both policies' cells.
+    pair = scheme.pair
+    blocks_shift = log2_exact(pair.blocks_per_chunk)
+    shift = np.uint32(pair.small_shift)
+    num_programs = len(traces)
+    mixes: Dict[int, Tuple[np.ndarray, np.ndarray, PolicyDecisions, Trace]] = {}
+    for quantum in {quantum for quantum, _ in pending}:
+        mixed, contexts = interleave_with_contexts(traces, quantum=quantum)
+        blocks = np.asarray(mixed.addresses >> shift, dtype=np.int64)
+        decisions = _composed_decisions(
+            blocks, contexts, scheme, num_programs, blocks_shift
+        )
+        mixes[quantum] = (blocks, contexts, decisions, mixed)
+
+    def make_cell(
+        quantum: int, policy: ContextSwitchPolicy, cell_configs: List[TLBConfig]
+    ):
+        def run_cell() -> List[Dict[str, Any]]:
+            faultinject.check("sim.multiprog.cell_two_sizes")
+            blocks, contexts, decisions, mixed = mixes[quantum]
+            if choice.kernel == KERNEL_VECTOR:
+                counts = multiprog_two_size_counts(
+                    blocks,
+                    contexts,
+                    blocks_shift,
+                    decisions,
+                    policy,
+                    cell_configs,
+                )
+            else:
+                counts = _scalar_two_size_counts(
+                    blocks, contexts, scheme, policy, cell_configs
+                )
+            return [
+                TwoSizeMultiprogramResult(
+                    program_names=program_names,
+                    switch_policy=policy,
+                    quantum=quantum,
+                    config=config,
+                    references=len(mixed),
+                    misses=count.misses,
+                    large_misses=count.large_misses,
+                    reprobes=count.reprobes,
+                    invalidations=count.invalidations,
+                    promotions=decisions.promotions,
+                    demotions=decisions.demotions,
+                    switches=count.switches,
+                    refs_per_instruction=mixed.refs_per_instruction,
+                    miss_penalty_cycles=penalty,
+                    resolved_kernel=choice.kernel,
+                    fallback_reason=choice.fallback_reason,
+                ).to_payload()
+                for config, count in zip(cell_configs, counts)
+            ]
+
+        return run_cell
+
+    units = []
+    cells = []
+    for (quantum, policy), cell_entries in pending.items():
+        cell_configs = [config for config, _ in cell_entries]
+        units.append(
+            UnitSpec(
+                name=f"multiprog2/q{quantum}/{policy.value}",
+                run=make_cell(quantum, policy, cell_configs),
+            )
+        )
+        cells.append((policy, quantum, cell_entries))
+    report = run_units(units, retry_policy=NO_RETRY, jobs=jobs)
+    if report.failures:
+        failure = report.failures[0]
+        raise SimulationError(
+            f"multiprogrammed two-size sweep cell {failure.name} failed: "
+            f"{failure.error}"
+        )
+    for outcome, (policy, quantum, cell_entries) in zip(
+        report.outcomes, cells
+    ):
+        for payload, (config, key) in zip(outcome.result, cell_entries):
+            if cache is not None and key is not None:
+                cache.put(key, payload)
+            results[(policy.value, quantum, config.label)] = (
+                TwoSizeMultiprogramResult.from_payload(payload, config)
+            )
+    return results
+
+
+def _scalar_two_size_counts(
+    blocks: np.ndarray,
+    contexts: np.ndarray,
+    scheme: TwoSizeScheme,
+    policy: ContextSwitchPolicy,
+    configs: Sequence[TLBConfig],
+) -> List[MultiprogTwoSizeCounts]:
+    """Reference oracle: per-program policies, forwarded shootdowns.
+
+    One walk drives all configurations' TLBs.  At each reference the
+    operation order matches the kernel's model: switch to the
+    reference's context, apply the issuing program's shootdowns
+    (demote, then promote), then access.
+    """
+    pair = scheme.pair
+    blocks_shift = log2_exact(pair.blocks_per_chunk)
+    blocks_per_chunk = pair.blocks_per_chunk
+    num_programs = int(contexts.max()) + 1 if contexts.size else 0
+    policies = [_fresh_policy(scheme) for _ in range(num_programs)]
+    tlbs = [MultiprogrammedTLB(config.build(), policy) for config in configs]
+    current = -1
+    for block, context in zip(blocks.tolist(), contexts.tolist()):
+        if context != current:
+            for tlb in tlbs:
+                tlb.switch_to(context)
+            current = context
+        decision = policies[context].access_block(block)
+        promoted = decision.promoted_chunk
+        demoted = decision.demoted_chunk
+        if promoted is not None or demoted is not None:
+            for tlb in tlbs:
+                if demoted is not None:
+                    tlb.invalidate_large_page(demoted)
+                if promoted is not None:
+                    tlb.invalidate_small_pages_of_chunk(
+                        promoted, blocks_per_chunk
+                    )
+        chunk = block >> blocks_shift
+        large = decision.large
+        for tlb in tlbs:
+            tlb.access(block, chunk, large)
+    return [
+        MultiprogTwoSizeCounts(
+            misses=tlb.stats.misses,
+            large_misses=tlb.stats.large_misses,
+            reprobes=tlb.stats.reprobes,
+            invalidations=tlb.stats.invalidations,
+            switches=tlb.switches,
+        )
         for tlb in tlbs
     ]

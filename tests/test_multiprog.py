@@ -5,6 +5,7 @@ import pytest
 
 from repro.errors import ConfigurationError, TraceError
 from repro.parallel.cache import SimulationCache
+from repro.perf.kernels import KernelFallbackWarning
 from repro.perf.multiprog import count_switches, multiprog_counts
 from repro.sim import TLBConfig, run_multiprogrammed, sweep_multiprogrammed
 from repro.tlb import ContextSwitchPolicy, FullyAssociativeTLB, MultiprogrammedTLB
@@ -324,10 +325,14 @@ class TestVectorEquivalence:
         config = TLBConfig(16, replacement="fifo")
         with pytest.raises(ConfigurationError):
             run_multiprogrammed(traces, config, kernel="vector")
-        # "auto" silently falls back to the scalar oracle.
-        auto = run_multiprogrammed(traces, config, kernel="auto")
+        # "auto" falls back to the scalar oracle — loudly, with the
+        # resolution recorded on the result.
+        with pytest.warns(KernelFallbackWarning):
+            auto = run_multiprogrammed(traces, config, kernel="auto")
         scalar = run_multiprogrammed(traces, config, kernel="scalar")
-        assert auto.to_payload() == scalar.to_payload()
+        assert auto == scalar  # audit fields excluded from equality
+        assert auto.resolved_kernel == "scalar"
+        assert auto.fallback_reason
 
     def test_kernel_rejects_mismatched_streams(self):
         with pytest.raises(ConfigurationError):

@@ -176,12 +176,14 @@ class TestSingleSizeDriver:
                 vector = run_single_size(trace, scheme, config, kernel="vector")
                 assert scalar == vector, config.label
 
-    def test_non_lru_auto_falls_back(self, trace):
+    def test_non_lru_auto_resolves_sampled(self, trace):
         config = TLBConfig(entries=16, replacement="random")
         result = run_single_size(
             trace, SingleSizeScheme(4096), config, kernel="auto"
         )
         assert result.misses > 0
+        assert result.resolved_kernel == "sampled"
+        assert result.sampling is not None
 
     def test_non_lru_explicit_vector_raises(self, trace):
         config = TLBConfig(entries=16, replacement="fifo")
