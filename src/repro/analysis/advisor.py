@@ -18,10 +18,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.crossover import CrossoverResult, two_size_crossover
+from repro.errors import ConfigurationError
+from repro.mem.misshandler import (
+    SINGLE_SIZE_PENALTY_CYCLES,
+    TWO_SIZE_PENALTY_FACTOR,
+)
 from repro.metrics.cpi import critical_miss_penalty_increase
+from repro.parallel.cache import SimulationCache
 from repro.policy.dynamic_ws import dynamic_average_working_set
 from repro.report.table import TextTable
 from repro.sim.config import TLBConfig, TwoSizeScheme
@@ -50,6 +56,9 @@ class AdvisorReport:
             much of the pressure actually moved to large pages).
         critical_penalty_percent: Δmp at the reference TLB, or inf.
         reference_entries: TLB size the verdict is judged at.
+        capacities: the effective, normalized TLB sizes actually swept
+            (sorted, deduplicated, always containing
+            ``reference_entries``).
         verdict: one of the RECOMMEND_* strings.
         reasons: human-readable bullet points behind the verdict.
     """
@@ -63,6 +72,7 @@ class AdvisorReport:
     promoted_share: float
     critical_penalty_percent: float
     reference_entries: int
+    capacities: Tuple[int, ...]
     verdict: str
     reasons: Sequence[str]
 
@@ -95,52 +105,27 @@ class AdvisorReport:
         return "\n".join(lines)
 
 
-def advise(
-    trace: Trace,
+def decide_verdict(
     *,
-    window: int,
-    reference_entries: int = 16,
-    capacities: Sequence[int] = (8, 16, 32),
-) -> AdvisorReport:
-    """Produce an :class:`AdvisorReport` for one workload trace."""
-    if reference_entries not in capacities:
-        capacities = tuple(sorted({*capacities, reference_entries}))
+    baseline_cpi: float,
+    two_cpi: float,
+    large_cpi: float,
+    inflation: Dict[str, float],
+    critical: float,
+    promotions: int,
+    reference_entries: int,
+) -> Tuple[str, List[str]]:
+    """The advisor's verdict logic, separated so each path is testable.
 
-    baseline_ws = average_working_set_bytes(trace, PAGE_4KB, [window])[window]
-    large_ws = average_working_set_bytes(trace, PAGE_32KB, [window])[window]
-    dynamic = dynamic_average_working_set(trace, PAIR_4KB_32KB, window)
-    inflation = {
-        "32KB": large_ws / baseline_ws if baseline_ws else 1.0,
-        "4KB/32KB": (
-            dynamic.average_bytes / baseline_ws if baseline_ws else 1.0
-        ),
-    }
-
-    crossover = two_size_crossover(trace, window, capacities=capacities)
-    (two_run,) = run_two_sizes(
-        trace,
-        TwoSizeScheme(window=window),
-        [TLBConfig(reference_entries)],
-    )
-    promoted_share = (
-        two_run.large_misses / two_run.misses if two_run.misses else 0.0
-    )
-
-    baseline_cpi = crossover.cpi["4KB"][reference_entries]
-    two_cpi = crossover.cpi["4KB/32KB"][reference_entries]
-    large_cpi = crossover.cpi["32KB"][reference_entries]
-
-    critical = (
-        critical_miss_penalty_increase(
-            _as_performance(trace, crossover, "4KB", reference_entries),
-            two_run.performance,
-        )
-        if two_run.misses
-        else math.inf
-    )
-
-    reasons = []
-    if two_cpi < baseline_cpi:
+    The single-larger-page check runs on *both* branches: a workload
+    whose all-32KB run beats the 4KB baseline deserves that verdict
+    even when the two-page-size scheme loses (dense footprints with
+    promotion-hostile layouts).  It compares against whichever of the
+    other two schemes won.
+    """
+    reasons: List[str] = []
+    two_wins = two_cpi < baseline_cpi
+    if two_wins:
         gain = baseline_cpi / two_cpi if two_cpi else math.inf
         reasons.append(
             f"two page sizes cut CPI_TLB {gain:.1f}x at "
@@ -155,18 +140,9 @@ def advise(
                 f"the win survives a {critical:.0f}% slower miss handler"
             )
         verdict = RECOMMEND_TWO_SIZES
-        if (
-            large_cpi < two_cpi * 0.8
-            and inflation["32KB"] < 1.3
-        ):
-            verdict = RECOMMEND_SINGLE_LARGE
-            reasons.append(
-                "but the footprint is dense enough that a single 32KB "
-                "page is cheaper still, with little memory cost"
-            )
     else:
         verdict = RECOMMEND_BASELINE
-        if two_run.promotions == 0:
+        if promotions == 0:
             reasons.append(
                 "the promotion policy never fires: hot data is scattered "
                 "below the half-chunk threshold"
@@ -175,6 +151,103 @@ def advise(
             "two page sizes only add the 25% miss-penalty surcharge "
             f"(CPI {baseline_cpi:.3f} -> {two_cpi:.3f})"
         )
+
+    best_cpi = two_cpi if two_wins else baseline_cpi
+    if large_cpi < best_cpi * 0.8 and inflation["32KB"] < 1.3:
+        verdict = RECOMMEND_SINGLE_LARGE
+        if two_wins:
+            reasons.append(
+                "but the footprint is dense enough that a single 32KB "
+                "page is cheaper still, with little memory cost"
+            )
+        else:
+            reasons.append(
+                "a single 32KB page beats the 4KB baseline outright, "
+                "with little memory cost"
+            )
+    return verdict, reasons
+
+
+def advise(
+    trace: Trace,
+    *,
+    window: int,
+    reference_entries: int = 16,
+    capacities: Sequence[int] = (8, 16, 32),
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    cache: Optional[SimulationCache] = None,
+) -> AdvisorReport:
+    """Produce an :class:`AdvisorReport` for one workload trace.
+
+    ``capacities`` is normalized once — sorted, deduplicated, with
+    ``reference_entries`` inserted — and the effective tuple is
+    recorded on the report.  ``base_penalty``/``penalty_factor`` thread
+    the miss-penalty model through every simulation *and* the
+    critical-penalty reconstruction, so the robustness margin is
+    computed against the penalties actually charged.
+    """
+    if reference_entries <= 0:
+        raise ConfigurationError("reference_entries must be positive")
+    if any(entries <= 0 for entries in capacities):
+        raise ConfigurationError("TLB capacities must be positive")
+    capacities = tuple(sorted({*capacities, reference_entries}))
+
+    baseline_ws = average_working_set_bytes(trace, PAGE_4KB, [window])[window]
+    large_ws = average_working_set_bytes(trace, PAGE_32KB, [window])[window]
+    dynamic = dynamic_average_working_set(trace, PAIR_4KB_32KB, window)
+    inflation = {
+        "32KB": large_ws / baseline_ws if baseline_ws else 1.0,
+        "4KB/32KB": (
+            dynamic.average_bytes / baseline_ws if baseline_ws else 1.0
+        ),
+    }
+
+    crossover = two_size_crossover(
+        trace,
+        window,
+        capacities=capacities,
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+        cache=cache,
+    )
+    (two_run,) = run_two_sizes(
+        trace,
+        TwoSizeScheme(window=window),
+        [TLBConfig(reference_entries)],
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+        cache=cache,
+    )
+    promoted_share = (
+        two_run.large_misses / two_run.misses if two_run.misses else 0.0
+    )
+
+    baseline_cpi = crossover.cpi["4KB"][reference_entries]
+    two_cpi = crossover.cpi["4KB/32KB"][reference_entries]
+    large_cpi = crossover.cpi["32KB"][reference_entries]
+
+    critical = (
+        critical_miss_penalty_increase(
+            _as_performance(
+                trace, crossover, "4KB", reference_entries,
+                base_penalty=base_penalty,
+            ),
+            two_run.performance,
+        )
+        if two_run.misses
+        else math.inf
+    )
+
+    verdict, reasons = decide_verdict(
+        baseline_cpi=baseline_cpi,
+        two_cpi=two_cpi,
+        large_cpi=large_cpi,
+        inflation=inflation,
+        critical=critical,
+        promotions=two_run.promotions,
+        reference_entries=reference_entries,
+    )
 
     return AdvisorReport(
         workload=trace.name,
@@ -186,22 +259,31 @@ def advise(
         promoted_share=promoted_share,
         critical_penalty_percent=critical,
         reference_entries=reference_entries,
+        capacities=capacities,
         verdict=verdict,
         reasons=tuple(reasons),
     )
 
 
-def _as_performance(trace, crossover, scheme, entries):
-    """Rebuild a TLBPerformance for a swept single-size scheme."""
+def _as_performance(
+    trace, crossover, scheme, entries, *,
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+):
+    """Rebuild a TLBPerformance for a swept single-size scheme.
+
+    The miss count is recovered from CPI with the *same* penalty the
+    sweep charged; a hardcoded 20.0 here would silently misreport the
+    critical-penalty margin whenever ``base_penalty`` differs.
+    """
     from repro.metrics.cpi import TLBPerformance
 
     cpi = crossover.cpi[scheme][entries]
     misses = round(
-        cpi * (len(trace) / trace.refs_per_instruction) / 20.0
+        cpi * (len(trace) / trace.refs_per_instruction) / base_penalty
     )
     return TLBPerformance(
         misses=misses,
         references=len(trace),
         refs_per_instruction=trace.refs_per_instruction,
-        miss_penalty_cycles=20.0,
+        miss_penalty_cycles=base_penalty,
     )

@@ -18,9 +18,14 @@ costs about two trace traversals.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ConfigurationError
+from repro.mem.misshandler import (
+    SINGLE_SIZE_PENALTY_CYCLES,
+    TWO_SIZE_PENALTY_FACTOR,
+)
+from repro.parallel.cache import SimulationCache
 from repro.sim.config import TLBConfig, TwoSizeScheme
 from repro.sim.driver import run_two_sizes
 from repro.sim.sweep import sweep_single_size
@@ -68,8 +73,18 @@ def two_size_crossover(
     *,
     capacities: Sequence[int] = DEFAULT_CAPACITIES,
     page_sizes: Sequence[int] = (PAGE_4KB, PAGE_8KB, PAGE_32KB),
+    base_penalty: float = SINGLE_SIZE_PENALTY_CYCLES,
+    penalty_factor: float = TWO_SIZE_PENALTY_FACTOR,
+    cache: Optional[SimulationCache] = None,
 ) -> CrossoverResult:
-    """Sweep fully associative TLB sizes for every scheme."""
+    """Sweep fully associative TLB sizes for every scheme.
+
+    ``base_penalty`` is the single-size miss penalty in cycles; the
+    two-page-size scheme is charged ``base_penalty * penalty_factor``
+    per miss — the same penalty model everywhere, so downstream
+    consumers (the advisor's critical-penalty figure) see consistent
+    CPI numbers under non-default penalties.
+    """
     if not capacities:
         raise ConfigurationError("capacities must not be empty")
     configs = [TLBConfig(entries) for entries in capacities]
@@ -77,7 +92,9 @@ def two_size_crossover(
     cpi: Dict[str, Dict[int, float]] = {
         format_size(page_size): {} for page_size in page_sizes
     }
-    swept = sweep_single_size(trace, page_sizes, configs)
+    swept = sweep_single_size(
+        trace, page_sizes, configs, base_penalty=base_penalty, cache=cache
+    )
     for page_size in page_sizes:
         label = format_size(page_size)
         for config in configs:
@@ -86,7 +103,14 @@ def two_size_crossover(
             ].cpi_tlb
 
     scheme = TwoSizeScheme(window=window)
-    results = run_two_sizes(trace, scheme, configs)
+    results = run_two_sizes(
+        trace,
+        scheme,
+        configs,
+        base_penalty=base_penalty,
+        penalty_factor=penalty_factor,
+        cache=cache,
+    )
     cpi["4KB/32KB"] = {
         result.config.entries: result.cpi_tlb for result in results
     }

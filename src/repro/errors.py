@@ -63,6 +63,16 @@ class ExperimentError(ReproError):
     """An experiment suite was driven incorrectly or could not proceed."""
 
 
+class StudyError(ExperimentError):
+    """A declarative study is malformed or could not be executed.
+
+    Raised by :mod:`repro.studies` for schema violations (unknown unit
+    kind, a factor naming no parameter, an unconsumed fixed parameter),
+    for unreadable study declaration files, and — in strict runs — when
+    any compiled unit fails after retries.
+    """
+
+
 class BenchmarkError(ReproError):
     """A benchmark run or baseline comparison could not proceed.
 

@@ -30,18 +30,41 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.experiments.scale import ExperimentScale, default_scale
-from repro.policy.dynamic_ws import dynamic_average_working_set
 from repro.report.table import TextTable
 from repro.sim.config import TLBConfig, TwoSizeScheme
 from repro.sim.driver import run_single_size, run_two_sizes
 from repro.sim.config import SingleSizeScheme
-from repro.tlb.indexing import IndexingScheme, ProbeStrategy
-from repro.trace.mix import round_robin_mix
-from repro.types import PAGE_4KB, PAIR_4KB_32KB
 
-#: Workloads used by the ablations: a strong improver, a degrader and a
-#: mixed case — enough to show each knob's effect without hours of CPU.
-ABLATION_WORKLOADS = ("matrix300", "espresso", "doduc")
+# The study engine imports this package's ``scale`` module; importing it
+# lazily (it pulls in the full driver stack anyway) keeps
+# ``repro.studies`` importable on its own without a cycle through
+# ``repro.experiments.__init__``.
+from repro.studies.registry import (
+    ABLATION_WORKLOADS,
+    penalty_study,
+    probe_study,
+    replacement_study,
+    split_study,
+    threshold_study,
+    twolevel_study,
+)
+from repro.trace.mix import round_robin_mix
+from repro.types import PAGE_4KB
+
+
+def _run_study(study, *, scale):
+    """Run ``study`` through the compiler (lazy engine import)."""
+    from repro.studies.engine import run_study
+
+    return run_study(study, scale=scale)
+
+
+def _by_workload(result, metric: str, **point) -> Dict[str, float]:
+    """``{workload: value}`` in ablation-workload order."""
+    return {
+        name: result.value(metric, workload=name, **point)
+        for name in ABLATION_WORKLOADS
+    }
 
 
 @dataclass(frozen=True)
@@ -75,34 +98,23 @@ def run_threshold_ablation(
     """Sweep the promote threshold on the ablation workloads."""
     if scale is None:
         scale = default_scale()
-    config = TLBConfig(16)
-    cache = scale.sim_cache()
-    cpi: Dict[str, Dict[float, float]] = {}
-    ws: Dict[str, Dict[float, float]] = {}
-    from repro.stacksim.working_set import average_working_set_bytes
-
-    for name in ABLATION_WORKLOADS:
-        trace = scale.trace(name)
-        baseline_ws = average_working_set_bytes(
-            trace, PAGE_4KB, [scale.window]
-        )[scale.window]
-        cpi[name] = {}
-        ws[name] = {}
-        for fraction in fractions:
-            scheme = TwoSizeScheme(
-                window=scale.window, promote_fraction=fraction
-            )
-            (result,) = run_two_sizes(
-                trace, scheme, [config], cache=cache
-            )
-            cpi[name][fraction] = result.cpi_tlb
-            dynamic = dynamic_average_working_set(
-                trace, PAIR_4KB_32KB, scale.window, promote_fraction=fraction
-            )
-            ws[name][fraction] = (
-                dynamic.average_bytes / baseline_ws if baseline_ws else 1.0
-            )
-    return ThresholdAblation(cpi, ws, tuple(fractions), scale)
+    study = _run_study(threshold_study(fractions), scale=scale)
+    fractions = tuple(fractions)
+    cpi = {
+        name: {
+            f: study.value("cpi_tlb", workload=name, promote_fraction=f)
+            for f in fractions
+        }
+        for name in ABLATION_WORKLOADS
+    }
+    ws = {
+        name: {
+            f: study.value("ws_normalized", workload=name, promote_fraction=f)
+            for f in fractions
+        }
+        for name in ABLATION_WORKLOADS
+    }
+    return ThresholdAblation(cpi, ws, fractions, scale)
 
 
 @dataclass(frozen=True)
@@ -144,22 +156,17 @@ def run_penalty_ablation(
     """Sweep the two-page-size penalty factor on the ablation workloads."""
     if scale is None:
         scale = default_scale()
-    config = TLBConfig(16)
-    cache = scale.sim_cache()
-    baseline: Dict[str, float] = {}
-    cpi: Dict[str, Dict[float, float]] = {}
-    for name in ABLATION_WORKLOADS:
-        trace = scale.trace(name)
-        baseline[name] = run_single_size(
-            trace, SingleSizeScheme(PAGE_4KB), config, cache=cache
-        ).cpi_tlb
-        scheme = TwoSizeScheme(window=scale.window)
-        # One simulation; the penalty is a post-hoc scalar.
-        (result,) = run_two_sizes(
-            trace, scheme, [config], penalty_factor=1.0, cache=cache
-        )
-        base_cpi = result.cpi_tlb
-        cpi[name] = {factor: base_cpi * factor for factor in factors}
+    study = _run_study(penalty_study(), scale=scale)
+    baseline = _by_workload(study, "cpi_tlb", kind="single")
+    # One simulation per workload; the penalty is a post-hoc scalar.
+    cpi = {
+        name: {
+            factor: study.value("cpi_tlb", workload=name, kind="two_size")
+            * factor
+            for factor in factors
+        }
+        for name in ABLATION_WORKLOADS
+    }
     return PenaltyAblation(baseline, cpi, tuple(factors), scale)
 
 
@@ -201,24 +208,13 @@ def run_probe_ablation(scale: ExperimentScale = None) -> ProbeAblation:
     """Count sequential-probe reprobes on the ablation workloads."""
     if scale is None:
         scale = default_scale()
-    config = TLBConfig(
-        16,
-        2,
-        IndexingScheme.EXACT_INDEX,
-        probe_strategy=ProbeStrategy.SEQUENTIAL,
+    study = _run_study(probe_study(), scale=scale)
+    return ProbeAblation(
+        _by_workload(study, "misses"),
+        _by_workload(study, "reprobes"),
+        _by_workload(study, "references"),
+        scale,
     )
-    cache = scale.sim_cache()
-    misses: Dict[str, int] = {}
-    reprobes: Dict[str, int] = {}
-    references: Dict[str, int] = {}
-    for name in ABLATION_WORKLOADS:
-        trace = scale.trace(name)
-        scheme = TwoSizeScheme(window=scale.window)
-        (result,) = run_two_sizes(trace, scheme, [config], cache=cache)
-        misses[name] = result.misses
-        reprobes[name] = result.reprobes
-        references[name] = result.references
-    return ProbeAblation(misses, reprobes, references, scale)
 
 
 @dataclass(frozen=True)
@@ -248,17 +244,14 @@ def run_replacement_ablation(
     """Compare replacement policies on the ablation workloads."""
     if scale is None:
         scale = default_scale()
-    cache = scale.sim_cache()
-    cpi: Dict[str, Dict[str, float]] = {}
-    for name in ABLATION_WORKLOADS:
-        trace = scale.trace(name)
-        cpi[name] = {}
-        for policy in policies:
-            config = TLBConfig(16, replacement=policy)
-            result = run_single_size(
-                trace, SingleSizeScheme(PAGE_4KB), config, cache=cache
-            )
-            cpi[name][policy] = result.cpi_tlb
+    study = _run_study(replacement_study(policies), scale=scale)
+    cpi = {
+        name: {
+            policy: study.value("cpi_tlb", workload=name, replacement=policy)
+            for policy in policies
+        }
+        for name in ABLATION_WORKLOADS
+    }
     return ReplacementAblation(cpi, tuple(policies), scale)
 
 
@@ -290,25 +283,18 @@ def run_split_ablation(scale: ExperimentScale = None) -> SplitAblation:
     """Compare a split TLB to a unified one on the ablation workloads."""
     if scale is None:
         scale = default_scale()
-    from repro.sim.driver import run_split_two_sizes
-
-    cache = scale.sim_cache()
-    unified_cpi: Dict[str, float] = {}
-    split_cpi: Dict[str, float] = {}
-    utilisation: Dict[str, float] = {}
-    for name in ABLATION_WORKLOADS:
-        trace = scale.trace(name)
-        scheme = TwoSizeScheme(window=scale.window)
-        (unified,) = run_two_sizes(trace, scheme, [TLBConfig(16)], cache=cache)
-        unified_cpi[name] = unified.cpi_tlb
-
-        split = run_split_two_sizes(
-            trace, scheme, TLBConfig(12), TLBConfig(4), cache=cache
-        )
-        instructions = len(trace) / trace.refs_per_instruction
-        split_cpi[name] = split.misses * 25.0 / instructions
-        utilisation[name] = split.large_occupancy / 4.0
-    return SplitAblation(unified_cpi, split_cpi, utilisation, scale)
+    study = _run_study(split_study(), scale=scale)
+    utilisation = {
+        name: study.value("large_occupancy", workload=name, kind="split")
+        / 4.0
+        for name in ABLATION_WORKLOADS
+    }
+    return SplitAblation(
+        _by_workload(study, "cpi_tlb", kind="two_size"),
+        _by_workload(study, "cpi_tlb", kind="split"),
+        utilisation,
+        scale,
+    )
 
 
 @dataclass(frozen=True)
@@ -363,34 +349,18 @@ def run_twolevel_ablation(
     The hierarchy is charged the same walk penalty as the flat arm on
     true misses, plus ``l2_hit_cycles`` per L1-miss/L2-hit.
     """
-    from repro.sim.config import TwoLevelConfig
-    from repro.sim.driver import run_two_level
-
     if scale is None:
         scale = default_scale()
-    cache = scale.sim_cache()
-    config = TwoLevelConfig(
-        level1=TLBConfig(l1_entries),
-        level2=TLBConfig(l2_entries),
-        l2_hit_cycles=l2_hit_cycles,
+    study = _run_study(
+        twolevel_study(l1_entries, l2_entries, l2_hit_cycles), scale=scale
     )
-    flat_cpi: Dict[str, float] = {}
-    hierarchy_cpi: Dict[str, float] = {}
-    l2_rate: Dict[str, float] = {}
-    for name in ABLATION_WORKLOADS:
-        trace = scale.trace(name)
-        scheme = TwoSizeScheme(window=scale.window)
-        (flat,) = run_two_sizes(trace, scheme, [TLBConfig(16)], cache=cache)
-        flat_cpi[name] = flat.cpi_tlb
-
-        hierarchy = run_two_level(trace, scheme, config, cache=cache)
-        hierarchy_cpi[name] = hierarchy.cpi_tlb
-        l1_misses = hierarchy.l2_hits + hierarchy.misses
-        l2_rate[name] = (
-            hierarchy.l2_hits / l1_misses if l1_misses else 0.0
-        )
     return TwoLevelAblation(
-        flat_cpi, hierarchy_cpi, l2_rate, l1_entries, l2_entries, scale
+        _by_workload(study, "cpi_tlb", kind="two_size"),
+        _by_workload(study, "cpi_tlb", kind="twolevel"),
+        _by_workload(study, "l2_catch_rate", kind="twolevel"),
+        l1_entries,
+        l2_entries,
+        scale,
     )
 
 

@@ -1,0 +1,45 @@
+"""Declarative studies: a study is data, the engine compiles it.
+
+* :mod:`repro.studies.spec` — the :class:`Study`/:class:`Factor` schema
+  and TOML/JSON loading.
+* :mod:`repro.studies.units` — unit kinds: how one lattice point maps
+  to one simulation.
+* :mod:`repro.studies.engine` — the compiler (lattice → run IDs →
+  cache dedupe → parallel schedule) and result aggregation.
+* :mod:`repro.studies.registry` — registered declarations, including
+  the migrated ablations.
+* :mod:`repro.studies.cli` — the ``repro-study`` entry point.
+"""
+
+from repro.studies.engine import (
+    FactorEffect,
+    StudyPlan,
+    StudyResult,
+    StudyUnit,
+    UnitResult,
+    compile_study,
+    run_study,
+)
+from repro.studies.registry import STUDIES, get_study, study_names
+from repro.studies.spec import Factor, Study, load_study, study_from_mapping
+from repro.studies.units import UNIT_KINDS, UnitKind, get_kind
+
+__all__ = [
+    "Factor",
+    "FactorEffect",
+    "STUDIES",
+    "Study",
+    "StudyPlan",
+    "StudyResult",
+    "StudyUnit",
+    "UNIT_KINDS",
+    "UnitKind",
+    "UnitResult",
+    "compile_study",
+    "get_kind",
+    "get_study",
+    "load_study",
+    "run_study",
+    "study_from_mapping",
+    "study_names",
+]

@@ -6,8 +6,12 @@ import pytest
 
 from repro.analysis import (
     RECOMMEND_BASELINE,
+    RECOMMEND_SINGLE_LARGE,
+    RECOMMEND_TWO_SIZES,
     advise,
 )
+from repro.analysis.advisor import decide_verdict
+from repro.errors import ConfigurationError
 from repro.workloads import generate_trace
 
 LENGTH = 80_000
@@ -78,3 +82,123 @@ class TestReportContents:
         )
         assert report.reference_entries == 8
         assert 8 in report.crossover.capacities
+
+
+def _verdict(**overrides):
+    kwargs = dict(
+        baseline_cpi=1.0,
+        two_cpi=0.5,
+        large_cpi=1.0,
+        inflation={"32KB": 2.0, "4KB/32KB": 1.1},
+        critical=50.0,
+        promotions=10,
+        reference_entries=16,
+    )
+    kwargs.update(overrides)
+    return decide_verdict(**kwargs)
+
+
+class TestDecideVerdict:
+    """Each verdict path, exercised directly on the decision function."""
+
+    def test_two_size_win(self):
+        verdict, reasons = _verdict()
+        assert verdict == RECOMMEND_TWO_SIZES
+        assert any("cut CPI_TLB" in reason for reason in reasons)
+        assert any("slower miss handler" in reason for reason in reasons)
+
+    def test_baseline_when_two_sizes_lose(self):
+        verdict, reasons = _verdict(two_cpi=1.2)
+        assert verdict == RECOMMEND_BASELINE
+        assert any("surcharge" in reason for reason in reasons)
+
+    def test_baseline_mentions_dead_promotion_policy(self):
+        verdict, reasons = _verdict(two_cpi=1.2, promotions=0)
+        assert verdict == RECOMMEND_BASELINE
+        assert any("never fires" in reason for reason in reasons)
+
+    def test_single_large_when_two_sizes_also_win(self):
+        verdict, reasons = _verdict(
+            large_cpi=0.3, inflation={"32KB": 1.1, "4KB/32KB": 1.05}
+        )
+        assert verdict == RECOMMEND_SINGLE_LARGE
+        assert any("cheaper still" in reason for reason in reasons)
+
+    def test_single_large_when_two_sizes_lose(self):
+        # The regression: the all-32KB check used to live only inside
+        # the two-sizes-win branch, so a dense footprint with a
+        # promotion-hostile layout (two sizes lose, 32KB wins big) fell
+        # through to BASELINE.
+        verdict, reasons = _verdict(
+            two_cpi=1.2,
+            large_cpi=0.5,
+            inflation={"32KB": 1.1, "4KB/32KB": 1.3},
+        )
+        assert verdict == RECOMMEND_SINGLE_LARGE
+        assert any("outright" in reason for reason in reasons)
+
+    def test_inflation_gate_blocks_single_large(self):
+        verdict, _ = _verdict(
+            two_cpi=1.2,
+            large_cpi=0.5,
+            inflation={"32KB": 1.3, "4KB/32KB": 1.3},
+        )
+        assert verdict == RECOMMEND_BASELINE
+
+    def test_large_must_beat_winner_not_loser(self):
+        # 32KB beats the baseline but not the two-size winner by the
+        # 0.8 margin -> stays with two sizes.
+        verdict, _ = _verdict(
+            two_cpi=0.5,
+            large_cpi=0.45,
+            inflation={"32KB": 1.1, "4KB/32KB": 1.05},
+        )
+        assert verdict == RECOMMEND_TWO_SIZES
+
+
+class TestPenaltyThreading:
+    def test_critical_penalty_invariant_under_base_penalty(self):
+        # The critical margin is an MPI ratio, independent of the
+        # penalty charged — unless a hardcoded 20.0 sneaks back into
+        # the baseline reconstruction.
+        trace = generate_trace("matrix300", LENGTH, seed=0)
+        default = advise(trace, window=WINDOW)
+        doubled = advise(trace, window=WINDOW, base_penalty=40.0)
+        assert default.critical_penalty_percent == pytest.approx(
+            doubled.critical_penalty_percent, rel=1e-6
+        )
+        assert doubled.verdict == default.verdict
+
+    def test_penalty_factor_scales_two_size_cpi(self, matrix_report):
+        trace = generate_trace("matrix300", LENGTH, seed=0)
+        harsh = advise(trace, window=WINDOW, penalty_factor=2.5)
+        reference = matrix_report.reference_entries
+        assert (
+            harsh.crossover.cpi["4KB/32KB"][reference]
+            == pytest.approx(
+                matrix_report.crossover.cpi["4KB/32KB"][reference]
+                * (2.5 / 1.25),
+                rel=1e-9,
+            )
+        )
+
+
+class TestCapacityHandling:
+    def test_capacities_normalized_and_recorded(self):
+        trace = generate_trace("li", 40_000, seed=0)
+        report = advise(
+            trace, window=5_000, reference_entries=16,
+            capacities=(32, 8, 32),
+        )
+        assert report.capacities == (8, 16, 32)
+        assert tuple(report.crossover.capacities) == (8, 16, 32)
+
+    def test_reference_entries_must_be_positive(self):
+        trace = generate_trace("li", 40_000, seed=0)
+        with pytest.raises(ConfigurationError, match="reference_entries"):
+            advise(trace, window=5_000, reference_entries=0)
+
+    def test_capacities_must_be_positive(self):
+        trace = generate_trace("li", 40_000, seed=0)
+        with pytest.raises(ConfigurationError, match="capacities"):
+            advise(trace, window=5_000, capacities=(8, -4))
